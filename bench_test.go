@@ -1,0 +1,114 @@
+// Package tgmod's root benchmark harness regenerates every table and
+// figure in the evaluation (EXPERIMENTS.md) under `go test -bench`. Each
+// benchmark wraps one experiment from internal/experiments at Quick scale;
+// run cmd/benchtab -scale full for the published numbers.
+package tgmod
+
+import (
+	"testing"
+
+	"github.com/tgsim/tgmod/internal/experiments"
+)
+
+const benchSeed = 7
+
+// benchErr fails the benchmark on experiment error.
+func benchErr(b *testing.B, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkT1Taxonomy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := experiments.T1Taxonomy(); t.Rows() == 0 {
+			b.Fatal("empty taxonomy")
+		}
+	}
+}
+
+func BenchmarkT2Mechanism(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.T2Mechanism(benchSeed, experiments.Quick)
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkT3ModalityUsage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.T3ModalityUsage(benchSeed, experiments.Quick)
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkT4Coverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.T4Coverage(benchSeed, experiments.Quick)
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkF1JobSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.F1JobSize(benchSeed, experiments.Quick)
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkF2GatewayGrowth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.F2GatewayGrowth(benchSeed, experiments.Quick)
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkF3WaitBySize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.F3WaitBySize(benchSeed, experiments.Quick)
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkF4Utilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.F4Utilization(benchSeed, experiments.Quick)
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkF5Urgent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.F5Urgent(benchSeed, experiments.Quick)
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkF6Transfers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.F6Transfers(benchSeed, experiments.Quick)
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkF7Kernel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := experiments.F7Kernel(experiments.Quick); t.Rows() == 0 {
+			b.Fatal("empty kernel table")
+		}
+	}
+}
+
+func BenchmarkF8Inference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.F8Inference(benchSeed, experiments.Quick)
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkF9Prediction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.F9Prediction(benchSeed, experiments.Quick)
+		benchErr(b, err)
+	}
+}

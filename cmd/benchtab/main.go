@@ -1,0 +1,89 @@
+// Command benchtab regenerates every table and figure in the evaluation
+// (see EXPERIMENTS.md): the modality taxonomy, usage breakdowns, classifier
+// validation sweeps, job-size and gateway-growth distributions, scheduler
+// comparisons, urgent-computing costs, WAN usage, kernel throughput, and
+// inference ablations.
+//
+// Usage:
+//
+//	benchtab [-seed N] [-scale quick|full] [-only T3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/tgsim/tgmod/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seed := flag.Uint64("seed", 7, "experiment seed")
+	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. T3,F4); empty = all")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		sc = experiments.Quick
+	case "full":
+		sc = experiments.Full
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleFlag)
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
+			want[id] = true
+		}
+	}
+	selected := func(id string) bool { return len(want) == 0 || want[id] }
+
+	type gen struct {
+		id  string
+		run func() (fmt.Stringer, error)
+	}
+	gens := []gen{
+		{"T1", func() (fmt.Stringer, error) { return experiments.T1Taxonomy(), nil }},
+		{"T2", func() (fmt.Stringer, error) { return experiments.T2Mechanism(*seed, sc) }},
+		{"T3", func() (fmt.Stringer, error) { return experiments.T3ModalityUsage(*seed, sc) }},
+		{"T4", func() (fmt.Stringer, error) { return experiments.T4Coverage(*seed, sc) }},
+		{"F1", func() (fmt.Stringer, error) { return experiments.F1JobSize(*seed, sc) }},
+		{"F2", func() (fmt.Stringer, error) { return experiments.F2GatewayGrowth(*seed, sc) }},
+		{"F3", func() (fmt.Stringer, error) { return experiments.F3WaitBySize(*seed, sc) }},
+		{"F4", func() (fmt.Stringer, error) { return experiments.F4Utilization(*seed, sc) }},
+		{"F5", func() (fmt.Stringer, error) { return experiments.F5Urgent(*seed, sc) }},
+		{"F6", func() (fmt.Stringer, error) { return experiments.F6Transfers(*seed, sc) }},
+		{"F7", func() (fmt.Stringer, error) { return experiments.F7Kernel(sc), nil }},
+		{"F8", func() (fmt.Stringer, error) { return experiments.F8Inference(*seed, sc) }},
+		{"F9", func() (fmt.Stringer, error) { return experiments.F9Prediction(*seed, sc) }},
+		{"GV", func() (fmt.Stringer, error) { return experiments.GatewayVisibilityTable(*seed, sc) }},
+		{"CC", func() (fmt.Stringer, error) { return experiments.ConcentrationTable(*seed, sc) }},
+		{"SQ", func() (fmt.Stringer, error) { return experiments.ServiceTable(*seed, sc) }},
+		{"FS", func() (fmt.Stringer, error) { return experiments.FieldTable(*seed, sc) }},
+		{"CR", func() (fmt.Stringer, error) { return experiments.CampaignTable(*seed, sc) }},
+		{"OV", func() (fmt.Stringer, error) { return experiments.OverlapTable(*seed, sc) }},
+		{"MA", func() (fmt.Stringer, error) { return experiments.MaintenanceTable(*seed, sc) }},
+	}
+	for _, g := range gens {
+		if !selected(g.id) {
+			continue
+		}
+		out, err := g.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", g.id, err)
+		}
+		fmt.Printf("[%s]\n%s\n", g.id, out)
+	}
+	return nil
+}

@@ -1,0 +1,223 @@
+// Command tgsim runs a complete federated-cyberinfrastructure simulation
+// and prints the usage-modality measurement report: usage by submission
+// mechanism, usage by classified modality (against ground truth), gateway
+// end-user visibility, and per-machine utilization.
+//
+// Usage:
+//
+//	tgsim [-seed N] [-days D] [-policy fcfs|easy|conservative|fairshare]
+//	      [-trace out.jsonl] [-csv-dir DIR] [-config cfg.json] [-dump-config cfg.json]
+//	      [-maintenance-every D] [-quiet]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/tgsim/tgmod/internal/core"
+	"github.com/tgsim/tgmod/internal/des"
+	"github.com/tgsim/tgmod/internal/report"
+	"github.com/tgsim/tgmod/internal/scenario"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tgsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seed := flag.Uint64("seed", 1, "scenario seed")
+	days := flag.Float64("days", 30, "simulated horizon in days")
+	policy := flag.String("policy", "easy", "batch policy: fcfs, easy, conservative, fairshare")
+	tracePath := flag.String("trace", "", "write the accounting trace (JSON lines) to this file")
+	quiet := flag.Bool("quiet", false, "suppress tables; print one summary line")
+	maintDays := flag.Float64("maintenance-every", 0, "schedule recurring maintenance every N days (0 = none)")
+	maintHours := flag.Float64("maintenance-hours", 8, "maintenance window length in hours")
+	csvDir := flag.String("csv-dir", "", "also write every report as CSV into this directory")
+	configPath := flag.String("config", "", "load the scenario from a JSON config file (overrides other scenario flags)")
+	dumpConfig := flag.String("dump-config", "", "write the effective scenario config as JSON and exit")
+	flag.Parse()
+
+	var cfg scenario.Config
+	if *configPath != "" {
+		f, err := os.Open(*configPath)
+		if err != nil {
+			return err
+		}
+		cf, err := scenario.DecodeConfigFile(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		cfg, err = cf.ToConfig()
+		if err != nil {
+			return err
+		}
+	} else {
+		pol, err := scenario.ParsePolicy(*policy)
+		if err != nil {
+			return err
+		}
+		cfg = scenario.DefaultConfig(*seed)
+		cfg.Horizon = des.Time(*days) * des.Day
+		cfg.DrainTime = cfg.Horizon / 8
+		cfg.Policy = pol
+		if *maintDays > 0 {
+			cfg.MaintenanceEvery = des.Time(*maintDays) * des.Day
+			cfg.MaintenanceLength = des.Time(*maintHours) * des.Hour
+		}
+	}
+	if *dumpConfig != "" {
+		cf, err := scenario.FromConfig(cfg)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*dumpConfig)
+		if err != nil {
+			return err
+		}
+		if err := cf.Encode(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+
+	res, err := scenario.Run(cfg)
+	if err != nil {
+		return err
+	}
+	cl := core.NewClassifier(core.Config{LargestCores: res.LargestCores})
+	results := cl.Classify(res.Central)
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		if err := res.Central.Export(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	var saveCSV func(name string, t *report.Table) error
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		saveCSV = func(name string, t *report.Table) error {
+			f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
+			if err != nil {
+				return err
+			}
+			if err := t.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+	} else {
+		saveCSV = func(string, *report.Table) error { return nil }
+	}
+
+	if *quiet {
+		fmt.Printf("jobs=%d NUs=%.0f users=%d events=%d\n",
+			len(res.Central.Jobs()), res.Central.TotalNUs(),
+			res.Central.DistinctUsers(), res.Kernel.Executed())
+		return nil
+	}
+
+	fmt.Printf("tgsim: %s federation, %d cores, %.1f simulated days, policy=%s, seed=%d\n",
+		res.Federation.Name, res.Federation.TotalCores(),
+		float64(cfg.Horizon/des.Day), cfg.Policy, cfg.Seed)
+	fmt.Printf("jobs finished: %d   NUs charged: %s   kernel events: %d\n\n",
+		res.Finished, report.FormatFloat(res.Central.TotalNUs()), res.Kernel.Executed())
+
+	// Mechanism breakdown (what accounting saw before modality work).
+	mech := report.NewTable("Usage by submission mechanism",
+		"mechanism", "jobs", "NUs", "accounts")
+	for _, r := range core.MechanismReport(res.Central) {
+		mech.AddRowf(r.Mechanism, r.Jobs, r.NUs, r.AccountUsers)
+	}
+	if err := mech.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if err := saveCSV("mechanism", mech); err != nil {
+		return err
+	}
+	fmt.Println()
+
+	// Modality breakdown (the contribution).
+	rep := core.BuildReport(res.Central, results)
+	mod := report.NewTable("Usage by measured modality",
+		"modality", "jobs", "NUs", "NU share", "accounts", "end users")
+	for _, row := range rep.Rows {
+		mod.AddRowf(string(row.Modality), row.Jobs, row.NUs,
+			report.Percent(row.NUs/rep.TotalNUs), row.AccountUsers, row.EndUsers)
+	}
+	if err := mod.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if err := saveCSV("modality", mod); err != nil {
+		return err
+	}
+	fmt.Println()
+
+	// Validation against ground truth.
+	conf := core.Validate(res.Central, results)
+	val := report.NewTable("Classifier validation vs ground truth",
+		"modality", "precision", "recall", "F1")
+	for _, label := range core.ModalityLabels() {
+		val.AddRowf(label, fmt.Sprintf("%.3f", conf.Precision(label)),
+			fmt.Sprintf("%.3f", conf.Recall(label)),
+			fmt.Sprintf("%.3f", conf.F1(label)))
+	}
+	val.AddRowf("OVERALL ACCURACY", "", "", fmt.Sprintf("%.3f", conf.Accuracy()))
+	if err := val.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if err := saveCSV("validation", val); err != nil {
+		return err
+	}
+	fmt.Println()
+
+	// Gateway visibility.
+	v := core.MeasureGatewayVisibility(res.Central)
+	fmt.Printf("Gateway visibility: %d jobs, %d community accounts hide %d end users\n\n",
+		v.GatewayJobs, v.CommunityAccounts, v.RecoveredEndUsers)
+
+	// Usage by field of science.
+	fields := report.NewTable("Usage by field of science", "field", "jobs", "NUs", "projects")
+	for i, r := range core.FieldReport(res.Central) {
+		if i >= 8 {
+			break // top consumers only; the tail is in the CSV exports
+		}
+		fields.AddRowf(r.Field, r.Jobs, r.NUs, r.Projects)
+	}
+	if err := fields.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if err := saveCSV("fields", fields); err != nil {
+		return err
+	}
+	fmt.Println()
+
+	// Machine utilization.
+	util := report.NewTable("Machine utilization", "machine", "cores", "utilization", "preemptions")
+	for _, m := range res.Federation.Machines() {
+		s := res.Schedulers[m.ID]
+		util.AddRowf(m.ID, m.BatchCores(), report.Percent(s.Utilization()), int(s.Preemptions()))
+	}
+	if err := util.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	return saveCSV("machines", util)
+}

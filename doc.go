@@ -1,0 +1,12 @@
+// Package tgmod is a from-scratch Go reproduction of the measurement
+// program in "Cyberinfrastructure Usage Modalities on the TeraGrid"
+// (IPPS/IPDPS Workshops 2011): a deterministic discrete-event simulation
+// of a nine-site federated cyberinfrastructure plus the usage-modality
+// measurement framework that classifies and reports what its users are
+// actually doing.
+//
+// The root package hosts the benchmark harness (bench_test.go), one
+// benchmark per evaluation table and figure; the implementation lives in
+// internal/ (see README.md for the architecture map) and the runnable
+// entry points in cmd/ and examples/.
+package tgmod

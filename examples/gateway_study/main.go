@@ -1,0 +1,49 @@
+// Gateway study: how much instrumentation coverage do science gateways
+// need before their real user community becomes visible to the accounting
+// system? This example sweeps the AAAA attribute-coverage knob and shows
+// the recovered-end-user count and classifier quality at each level —
+// the measurement-deployment question the modality program raises.
+//
+// Run with:
+//
+//	go run ./examples/gateway_study
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/tgsim/tgmod/internal/core"
+	"github.com/tgsim/tgmod/internal/des"
+	"github.com/tgsim/tgmod/internal/job"
+	"github.com/tgsim/tgmod/internal/report"
+	"github.com/tgsim/tgmod/internal/scenario"
+)
+
+func main() {
+	t := report.NewTable("Gateway visibility vs attribute coverage",
+		"coverage", "gateway jobs", "attributed", "accounts", "recovered users", "gateway F1")
+	for _, coverage := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+		cfg := scenario.DefaultConfig(1234)
+		cfg.Horizon = 10 * des.Day
+		cfg.DrainTime = 2 * des.Day
+		for i := range cfg.Gateways {
+			cfg.Gateways[i].AttrCoverage = coverage
+		}
+		res, err := scenario.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cl := core.NewClassifier(core.Config{LargestCores: res.LargestCores})
+		results := cl.Classify(res.Central)
+		conf := core.Validate(res.Central, results)
+		v := core.MeasureGatewayVisibility(res.Central)
+		t.AddRowf(report.Percent(coverage), v.GatewayJobs, v.AttributedJobs,
+			v.CommunityAccounts, v.RecoveredEndUsers,
+			fmt.Sprintf("%.3f", conf.F1(string(job.ModGateway))))
+	}
+	fmt.Println(t)
+	fmt.Println("Even partial attribute deployment recovers most of the hidden")
+	fmt.Println("population; with zero coverage the community is invisible —")
+	fmt.Println("the accounting system sees three 'users'.")
+}

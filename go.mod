@@ -1,0 +1,3 @@
+module github.com/tgsim/tgmod
+
+go 1.22

@@ -1,0 +1,102 @@
+package accounting
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func populated(t *testing.T) *Central {
+	t.Helper()
+	c := NewCentral()
+	err := c.Ingest(&Packet{
+		Site: "s", Seq: 1,
+		Jobs: []JobRecord{
+			{JobID: 1, User: "a", NUs: 10, Cores: 4, TruthModality: "batch-capacity"},
+			{JobID: 2, User: "b", NUs: 20, Cores: 8, GatewayID: "g"},
+		},
+		Transfers:    []TransferRecord{{TransferID: 9, Src: "x", Dst: "y", Bytes: 100, JobID: 1}},
+		GatewayAttrs: []GatewayAttrRecord{{GatewayID: "g", GatewayUser: "u", JobID: 2}},
+		Storage:      []StorageRecord{{Site: "s", Project: "p", Bytes: 7}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	c := populated(t)
+	var buf bytes.Buffer
+	if err := c.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewCentral()
+	if err := c2.Import(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(c2.Jobs()) != 2 || len(c2.Transfers()) != 1 ||
+		len(c2.GatewayAttrs()) != 1 || len(c2.StorageRecords()) != 1 {
+		t.Fatalf("round trip lost records: %d/%d/%d/%d",
+			len(c2.Jobs()), len(c2.Transfers()), len(c2.GatewayAttrs()), len(c2.StorageRecords()))
+	}
+	if c2.TotalNUs() != 30 {
+		t.Errorf("TotalNUs = %v, want 30", c2.TotalNUs())
+	}
+	if r, ok := c2.Job(1); !ok || r.TruthModality != "batch-capacity" {
+		t.Error("truth label lost in round trip")
+	}
+}
+
+func TestImportRejectsNonEmpty(t *testing.T) {
+	c := populated(t)
+	var buf bytes.Buffer
+	if err := c.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Import(&buf); err == nil {
+		t.Error("import into populated database accepted")
+	}
+}
+
+func TestImportDuplicateJobsSkipped(t *testing.T) {
+	c := populated(t)
+	var buf bytes.Buffer
+	if err := c.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate the content: same job IDs twice.
+	doubled := append(append([]byte{}, buf.Bytes()...), buf.Bytes()...)
+	c2 := NewCentral()
+	if err := c2.Import(bytes.NewReader(doubled)); err != nil {
+		t.Fatal(err)
+	}
+	if len(c2.Jobs()) != 2 {
+		t.Errorf("duplicate import produced %d jobs, want 2", len(c2.Jobs()))
+	}
+	if c2.Duplicates() != 2 {
+		t.Errorf("Duplicates = %d, want 2", c2.Duplicates())
+	}
+}
+
+func TestImportErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":      "not json\n",
+		"unknown kind": `{"kind":"martian","data":{}}` + "\n",
+		"bad job":      `{"kind":"job","data":"not-an-object"}` + "\n",
+		"bad transfer": `{"kind":"transfer","data":[1]}` + "\n",
+		"bad attr":     `{"kind":"gateway_attr","data":7}` + "\n",
+		"bad storage":  `{"kind":"storage","data":true}` + "\n",
+	}
+	for name, in := range cases {
+		c := NewCentral()
+		if err := c.Import(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Blank lines are tolerated.
+	c := NewCentral()
+	if err := c.Import(strings.NewReader("\n\n")); err != nil {
+		t.Errorf("blank lines rejected: %v", err)
+	}
+}

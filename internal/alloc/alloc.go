@@ -1,0 +1,184 @@
+// Package alloc models the allocations process: projects (grants) led by a
+// PI, funded with service units that are charged in machine-normalized
+// units (NUs) as jobs consume core-hours. Allocation state gates job
+// submission — exhausted projects cannot run — and the charge records feed
+// the accounting system.
+package alloc
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tgsim/tgmod/internal/des"
+)
+
+// Project is an allocation award.
+type Project struct {
+	ID           string
+	PI           string
+	ScienceField string
+	AwardedNUs   float64
+	usedNUs      float64
+	refundedNUs  float64
+	users        map[string]bool
+	Created      des.Time
+}
+
+// Remaining returns the unspent balance in NUs.
+func (p *Project) Remaining() float64 { return p.AwardedNUs - p.usedNUs + p.refundedNUs }
+
+// Used returns the gross NUs charged.
+func (p *Project) Used() float64 { return p.usedNUs }
+
+// Exhausted reports whether the project has no balance left.
+func (p *Project) Exhausted() bool { return p.Remaining() <= 0 }
+
+// Users returns the project's authorized users, sorted.
+func (p *Project) Users() []string {
+	out := make([]string, 0, len(p.users))
+	for u := range p.users {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Bank manages all projects and charging.
+type Bank struct {
+	projects map[string]*Project
+	// charges and refunds counters for audit.
+	charges uint64
+	refunds uint64
+}
+
+// NewBank returns an empty allocations bank.
+func NewBank() *Bank {
+	return &Bank{projects: make(map[string]*Project)}
+}
+
+// Award creates a project with the given NU balance.
+func (b *Bank) Award(id, pi, field string, nus float64, now des.Time) (*Project, error) {
+	if id == "" || pi == "" {
+		return nil, fmt.Errorf("alloc: award needs project id and PI")
+	}
+	if nus <= 0 {
+		return nil, fmt.Errorf("alloc: project %s: non-positive award %v", id, nus)
+	}
+	if _, dup := b.projects[id]; dup {
+		return nil, fmt.Errorf("alloc: duplicate project %s", id)
+	}
+	p := &Project{
+		ID: id, PI: pi, ScienceField: field, AwardedNUs: nus,
+		users: map[string]bool{pi: true}, Created: now,
+	}
+	b.projects[id] = p
+	return p, nil
+}
+
+// Supplement adds NUs to an existing project (a supplemental award).
+func (b *Bank) Supplement(id string, nus float64) error {
+	p, ok := b.projects[id]
+	if !ok {
+		return fmt.Errorf("alloc: no project %s", id)
+	}
+	if nus <= 0 {
+		return fmt.Errorf("alloc: project %s: non-positive supplement", id)
+	}
+	p.AwardedNUs += nus
+	return nil
+}
+
+// AddUser authorizes a user on a project.
+func (b *Bank) AddUser(id, user string) error {
+	p, ok := b.projects[id]
+	if !ok {
+		return fmt.Errorf("alloc: no project %s", id)
+	}
+	p.users[user] = true
+	return nil
+}
+
+// Authorized reports whether user may charge project id.
+func (b *Bank) Authorized(id, user string) bool {
+	p, ok := b.projects[id]
+	return ok && p.users[user]
+}
+
+// Project looks up a project.
+func (b *Bank) Project(id string) (*Project, bool) {
+	p, ok := b.projects[id]
+	return p, ok
+}
+
+// Projects returns all projects sorted by ID.
+func (b *Bank) Projects() []*Project {
+	out := make([]*Project, 0, len(b.projects))
+	for _, p := range b.projects {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// CanCharge reports whether the project exists and has balance for the
+// estimated NUs. Schedulers consult this before starting work.
+func (b *Bank) CanCharge(id string, nus float64) bool {
+	p, ok := b.projects[id]
+	return ok && p.Remaining() >= nus
+}
+
+// Charge debits NUs from a project. Overdraft is permitted for a single
+// charge (the job already ran — operational accounting charged the actual
+// usage and let the balance go negative), but the error return tells the
+// caller the project is now exhausted.
+func (b *Bank) Charge(id string, nus float64) error {
+	p, ok := b.projects[id]
+	if !ok {
+		return fmt.Errorf("alloc: no project %s", id)
+	}
+	if nus < 0 {
+		return fmt.Errorf("alloc: negative charge %v to %s", nus, id)
+	}
+	p.usedNUs += nus
+	b.charges++
+	if p.Exhausted() {
+		return fmt.Errorf("alloc: project %s exhausted (balance %.1f NUs)", id, p.Remaining())
+	}
+	return nil
+}
+
+// Refund credits NUs back (e.g. for jobs lost to preemption or system
+// faults), never exceeding what was charged.
+func (b *Bank) Refund(id string, nus float64) error {
+	p, ok := b.projects[id]
+	if !ok {
+		return fmt.Errorf("alloc: no project %s", id)
+	}
+	if nus < 0 {
+		return fmt.Errorf("alloc: negative refund %v to %s", nus, id)
+	}
+	if p.refundedNUs+nus > p.usedNUs {
+		return fmt.Errorf("alloc: refund to %s exceeds charges", id)
+	}
+	p.refundedNUs += nus
+	b.refunds++
+	return nil
+}
+
+// TotalAwarded and TotalUsed aggregate across the bank.
+func (b *Bank) TotalAwarded() float64 {
+	t := 0.0
+	for _, p := range b.projects {
+		t += p.AwardedNUs
+	}
+	return t
+}
+
+// TotalUsed returns gross NUs charged across all projects.
+func (b *Bank) TotalUsed() float64 {
+	t := 0.0
+	for _, p := range b.projects {
+		t += p.usedNUs
+	}
+	return t
+}

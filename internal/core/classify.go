@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tgsim/tgmod/internal/accounting"
+	"github.com/tgsim/tgmod/internal/job"
+)
+
+// Result is the classifier's decision for one job record.
+type Result struct {
+	JobID    int64
+	Modality job.Modality
+	// Source records which evidence tier decided the classification.
+	Source Source
+	// Inferred campaign grouping (for ensemble/workflow inference).
+	CampaignID string
+}
+
+// Config tunes the classifier. Zero values are replaced by defaults.
+type Config struct {
+	// CapabilityFrac: a job using at least this fraction of the largest
+	// machine's cores is capability-class. Default 0.5.
+	CapabilityFrac float64
+	// LargestCores is the batch-core count of the federation's largest
+	// machine; required (no sane default exists without topology).
+	LargestCores int
+	// EnsembleMinJobs: minimum burst size for ensemble inference. Default 5.
+	EnsembleMinJobs int
+	// EnsembleWindow: maximum gap (seconds) between successive submissions
+	// inside one burst. Default 3600.
+	EnsembleWindow float64
+	// ChainMinLinks: minimum dependency-shaped links for workflow
+	// inference. Default 3.
+	ChainMinLinks int
+	// ChainSlack: a successor submitted within this many seconds after a
+	// predecessor's end looks dependency-driven. Default 300.
+	ChainSlack float64
+	// DataBytesThreshold: jobs that moved at least this many bytes through
+	// staging are data-centric. Default 5 GB.
+	DataBytesThreshold int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.CapabilityFrac == 0 {
+		c.CapabilityFrac = 0.5
+	}
+	if c.EnsembleMinJobs == 0 {
+		c.EnsembleMinJobs = 5
+	}
+	if c.EnsembleWindow == 0 {
+		c.EnsembleWindow = 3600
+	}
+	if c.ChainMinLinks == 0 {
+		c.ChainMinLinks = 3
+	}
+	if c.ChainSlack == 0 {
+		c.ChainSlack = 300
+	}
+	if c.DataBytesThreshold == 0 {
+		c.DataBytesThreshold = 5 << 30
+	}
+	return c
+}
+
+// Classifier assigns usage modalities to accounting records.
+type Classifier struct {
+	cfg Config
+}
+
+// NewClassifier returns a classifier with the given configuration.
+func NewClassifier(cfg Config) *Classifier {
+	return &Classifier{cfg: cfg.withDefaults()}
+}
+
+// Classify processes the central database and returns one result per job
+// record, in record order. It never reads the record's ground-truth label —
+// the separation between measurement and generator truth is the point of
+// the validation experiments (and is enforced by a test).
+func (cl *Classifier) Classify(c *accounting.Central) []Result {
+	jobs := c.Jobs()
+	results := make([]Result, len(jobs))
+
+	// Index: jobs that have gateway end-user attribute records.
+	gwAttr := make(map[int64]bool, len(c.GatewayAttrs()))
+	for _, a := range c.GatewayAttrs() {
+		gwAttr[a.JobID] = true
+	}
+	// Index: bytes staged per job (transfer records referencing jobs).
+	staged := make(map[int64]int64)
+	for _, tr := range c.Transfers() {
+		if tr.JobID != 0 {
+			staged[tr.JobID] += tr.Bytes
+		}
+	}
+
+	// Pass 1: direct evidence.
+	undecided := make([]int, 0, len(jobs))
+	for i := range jobs {
+		r := &jobs[i]
+		res := Result{JobID: r.JobID}
+		switch {
+		case r.QOS == "urgent":
+			res.Modality, res.Source = job.ModUrgent, SourceAccounting
+		case r.QOS == "interactive":
+			res.Modality, res.Source = job.ModInteractive, SourceAccounting
+		case r.GatewayID != "" || r.SubmitVia == "gateway" || gwAttr[r.JobID]:
+			res.Modality, res.Source = job.ModGateway, SourceAttribute
+		case r.CoAllocID != "" || r.BrokerJobID != "" || r.SubmitVia == "metasched":
+			res.Modality, res.Source = job.ModMetascheduled, SourceAttribute
+		case r.WorkflowID != "":
+			res.Modality, res.Source = job.ModWorkflow, SourceAttribute
+			res.CampaignID = r.WorkflowID
+		case r.EnsembleID != "":
+			res.Modality, res.Source = job.ModEnsemble, SourceAttribute
+			res.CampaignID = r.EnsembleID
+		case staged[r.JobID] >= cl.cfg.DataBytesThreshold:
+			res.Modality, res.Source = job.ModDataCentric, SourceAccounting
+		default:
+			undecided = append(undecided, i)
+		}
+		results[i] = res
+	}
+
+	// Pass 2: behavioral inference over the undecided remainder.
+	cl.inferEnsembles(jobs, results, undecided)
+	cl.inferChains(jobs, results, undecided)
+
+	// Pass 3: size-based batch split for everything still undecided.
+	for _, i := range undecided {
+		if results[i].Modality != "" {
+			continue
+		}
+		r := &jobs[i]
+		if cl.cfg.LargestCores > 0 &&
+			float64(r.Cores) >= cl.cfg.CapabilityFrac*float64(cl.cfg.LargestCores) {
+			results[i] = Result{JobID: r.JobID, Modality: job.ModBatchCapability, Source: SourceAccounting}
+		} else {
+			results[i] = Result{JobID: r.JobID, Modality: job.ModBatchCapacity, Source: SourceAccounting}
+		}
+	}
+	return results
+}
+
+// inferEnsembles finds untagged parameter sweeps: bursts of ≥ MinJobs
+// submissions by one user with identical job name and core count, each gap
+// within the window.
+func (cl *Classifier) inferEnsembles(jobs []accounting.JobRecord, results []Result, undecided []int) {
+	type key struct {
+		user, name string
+		cores      int
+	}
+	groups := make(map[key][]int)
+	for _, i := range undecided {
+		r := &jobs[i]
+		k := key{r.User, r.Name, r.Cores}
+		groups[k] = append(groups[k], i)
+	}
+	// Deterministic group iteration.
+	keys := make([]key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].user != keys[b].user {
+			return keys[a].user < keys[b].user
+		}
+		if keys[a].name != keys[b].name {
+			return keys[a].name < keys[b].name
+		}
+		return keys[a].cores < keys[b].cores
+	})
+	campaignN := 0
+	for _, k := range keys {
+		idxs := groups[k]
+		if len(idxs) < cl.cfg.EnsembleMinJobs {
+			continue
+		}
+		sort.Slice(idxs, func(a, b int) bool {
+			return jobs[idxs[a]].SubmitTime < jobs[idxs[b]].SubmitTime
+		})
+		// Split into bursts at gaps larger than the window.
+		burst := []int{idxs[0]}
+		flush := func() {
+			if len(burst) >= cl.cfg.EnsembleMinJobs {
+				campaignN++
+				id := inferredID("ens", campaignN)
+				for _, i := range burst {
+					results[i] = Result{
+						JobID:      jobs[i].JobID,
+						Modality:   job.ModEnsemble,
+						Source:     SourceInference,
+						CampaignID: id,
+					}
+				}
+			}
+		}
+		for _, i := range idxs[1:] {
+			gap := jobs[i].SubmitTime - jobs[burst[len(burst)-1]].SubmitTime
+			if gap <= cl.cfg.EnsembleWindow {
+				burst = append(burst, i)
+			} else {
+				flush()
+				burst = []int{i}
+			}
+		}
+		flush()
+	}
+}
+
+// inferChains finds untagged workflows: per-user sequences where each next
+// job is submitted within ChainSlack after the previous job's end — the
+// signature of an external script driving dependencies. Jobs already
+// claimed by ensemble inference are skipped.
+func (cl *Classifier) inferChains(jobs []accounting.JobRecord, results []Result, undecided []int) {
+	byUser := make(map[string][]int)
+	for _, i := range undecided {
+		if results[i].Modality != "" {
+			continue
+		}
+		byUser[jobs[i].User] = append(byUser[jobs[i].User], i)
+	}
+	usersSorted := make([]string, 0, len(byUser))
+	for u := range byUser {
+		usersSorted = append(usersSorted, u)
+	}
+	sort.Strings(usersSorted)
+	campaignN := 0
+	for _, u := range usersSorted {
+		idxs := byUser[u]
+		sort.Slice(idxs, func(a, b int) bool {
+			return jobs[idxs[a]].SubmitTime < jobs[idxs[b]].SubmitTime
+		})
+		var chain []int
+		flush := func() {
+			if len(chain) >= cl.cfg.ChainMinLinks {
+				campaignN++
+				id := inferredID("wf", campaignN)
+				for _, i := range chain {
+					results[i] = Result{
+						JobID:      jobs[i].JobID,
+						Modality:   job.ModWorkflow,
+						Source:     SourceInference,
+						CampaignID: id,
+					}
+				}
+			}
+		}
+		for _, i := range idxs {
+			if len(chain) == 0 {
+				chain = []int{i}
+				continue
+			}
+			prev := &jobs[chain[len(chain)-1]]
+			gap := jobs[i].SubmitTime - prev.EndTime
+			if gap >= 0 && gap <= cl.cfg.ChainSlack {
+				chain = append(chain, i)
+			} else {
+				flush()
+				chain = []int{i}
+			}
+		}
+		flush()
+	}
+}
+
+func inferredID(prefix string, n int) string {
+	return fmt.Sprintf("inf-%s-%05d", prefix, n)
+}

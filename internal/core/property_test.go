@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"github.com/tgsim/tgmod/internal/accounting"
+	"github.com/tgsim/tgmod/internal/job"
+	"github.com/tgsim/tgmod/internal/simrand"
+)
+
+// randomRecords builds a random but internally consistent record set with
+// a mix of attribute evidence, bursts, and plain batch jobs.
+func randomRecords(rng *simrand.Stream, n int) []accounting.JobRecord {
+	recs := make([]accounting.JobRecord, 0, n)
+	tm := 0.0
+	for i := 0; i < n; i++ {
+		r := accounting.JobRecord{
+			JobID:   int64(i + 1),
+			Name:    fmt.Sprintf("app-%d", rng.Intn(5)),
+			User:    fmt.Sprintf("u%d", rng.Intn(8)),
+			Project: "p", Site: "s", Machine: "m",
+			Cores:      1 << uint(rng.Intn(10)),
+			SubmitTime: tm,
+			QOS:        "normal",
+			ExitStatus: "completed",
+			NUs:        float64(rng.Intn(100)),
+		}
+		r.StartTime = r.SubmitTime + float64(rng.Intn(500))
+		r.EndTime = r.StartTime + float64(60+rng.Intn(5000))
+		r.WallSeconds = r.EndTime - r.StartTime
+		switch rng.Intn(8) {
+		case 0:
+			r.QOS = "urgent"
+		case 1:
+			r.GatewayID = "gw"
+		case 2:
+			r.EnsembleID = fmt.Sprintf("ens-%d", rng.Intn(3))
+		case 3:
+			r.WorkflowID = fmt.Sprintf("wf-%d", rng.Intn(3))
+		case 4:
+			r.BrokerJobID = "b"
+		}
+		tm += float64(rng.Intn(600))
+		recs = append(recs, r)
+	}
+	return recs
+}
+
+// TestClassifyTotalAndStable: every record receives a non-empty modality,
+// and splitting the same records across differently-sized packets (the
+// reporting cadence) never changes any per-job decision.
+func TestClassifyTotalAndStable(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := simrand.New(seed)
+		recs := randomRecords(rng, 50+rng.Intn(150))
+
+		ingest := func(chunk int) *accounting.Central {
+			c := accounting.NewCentral()
+			seq := uint64(0)
+			for i := 0; i < len(recs); i += chunk {
+				end := i + chunk
+				if end > len(recs) {
+					end = len(recs)
+				}
+				seq++
+				if err := c.Ingest(&accounting.Packet{Site: "s", Seq: seq,
+					Jobs: recs[i:end]}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return c
+		}
+		cl := NewClassifier(Config{LargestCores: 512})
+		oneShot := ingest(len(recs))
+		chunked := ingest(1 + rng.Intn(9))
+
+		ra := cl.Classify(oneShot)
+		rb := cl.Classify(chunked)
+		byID := make(map[int64]job.Modality, len(rb))
+		for _, r := range rb {
+			byID[r.JobID] = r.Modality
+		}
+		for _, r := range ra {
+			if r.Modality == "" {
+				t.Fatalf("seed %d: job %d got empty modality", seed, r.JobID)
+			}
+			if byID[r.JobID] != r.Modality {
+				t.Fatalf("seed %d: job %d classified %q vs %q across packet splits",
+					seed, r.JobID, r.Modality, byID[r.JobID])
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClassifyIdempotent: classifying the same database twice yields
+// identical results (no hidden state in the classifier).
+func TestClassifyIdempotent(t *testing.T) {
+	rng := simrand.New(99)
+	recs := randomRecords(rng, 200)
+	c := accounting.NewCentral()
+	if err := c.Ingest(&accounting.Packet{Site: "s", Seq: 1, Jobs: recs}); err != nil {
+		t.Fatal(err)
+	}
+	cl := NewClassifier(Config{LargestCores: 512})
+	a := cl.Classify(c)
+	b := cl.Classify(c)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("result %d differs between runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

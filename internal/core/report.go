@@ -1,0 +1,418 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/tgsim/tgmod/internal/accounting"
+	"github.com/tgsim/tgmod/internal/job"
+	"github.com/tgsim/tgmod/internal/metrics"
+)
+
+// UsageRow is one row of the usage-by-modality report.
+type UsageRow struct {
+	Modality job.Modality
+	Jobs     int
+	NUs      float64
+	// AccountUsers counts distinct charging accounts — what naive
+	// accounting sees (a gateway's whole community is one account).
+	AccountUsers int
+	// EndUsers counts distinct real people, folding in gateway end-user
+	// attribute records where available. This is the number the modality
+	// program exists to recover.
+	EndUsers int
+}
+
+// Report is the measured usage breakdown.
+type Report struct {
+	Rows     []UsageRow
+	TotalNUs float64
+	// BySource tallies how many jobs were decided by each evidence tier.
+	BySource map[Source]int
+}
+
+// Row returns the row for a modality (zero row if absent).
+func (r *Report) Row(m job.Modality) UsageRow {
+	for _, row := range r.Rows {
+		if row.Modality == m {
+			return row
+		}
+	}
+	return UsageRow{Modality: m}
+}
+
+// BuildReport aggregates classification results into the usage report.
+func BuildReport(c *accounting.Central, results []Result) *Report {
+	jobs := c.Jobs()
+	// Gateway end-user attribute index.
+	gwUser := make(map[int64]string)
+	for _, a := range c.GatewayAttrs() {
+		gwUser[a.JobID] = a.GatewayID + "/" + a.GatewayUser
+	}
+	type agg struct {
+		jobs     int
+		nus      float64
+		accounts map[string]bool
+		people   map[string]bool
+	}
+	byMod := make(map[job.Modality]*agg)
+	bySource := make(map[Source]int)
+	total := 0.0
+	for i := range jobs {
+		r := &jobs[i]
+		res := results[i]
+		a := byMod[res.Modality]
+		if a == nil {
+			a = &agg{accounts: make(map[string]bool), people: make(map[string]bool)}
+			byMod[res.Modality] = a
+		}
+		a.jobs++
+		a.nus += r.NUs
+		a.accounts[r.User] = true
+		if p, ok := gwUser[r.JobID]; ok {
+			a.people[p] = true
+		} else {
+			a.people[r.User] = true
+		}
+		bySource[res.Source]++
+		total += r.NUs
+	}
+	rep := &Report{TotalNUs: total, BySource: bySource}
+	// Canonical taxonomy order first, then anything else (e.g. unknown).
+	emit := func(m job.Modality) {
+		if a, ok := byMod[m]; ok {
+			rep.Rows = append(rep.Rows, UsageRow{
+				Modality: m, Jobs: a.jobs, NUs: a.nus,
+				AccountUsers: len(a.accounts), EndUsers: len(a.people),
+			})
+			delete(byMod, m)
+		}
+	}
+	for _, info := range Taxonomy() {
+		emit(info.ID)
+	}
+	rest := make([]job.Modality, 0, len(byMod))
+	for m := range byMod {
+		rest = append(rest, m)
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i] < rest[j] })
+	for _, m := range rest {
+		emit(m)
+	}
+	return rep
+}
+
+// MechanismRow breaks usage down by submission mechanism — the measurement
+// available *before* the modality framework: how jobs arrived, not why.
+type MechanismRow struct {
+	Mechanism    string
+	Jobs         int
+	NUs          float64
+	AccountUsers int
+}
+
+// MechanismReport aggregates by the SubmitVia attribute ("login", "gram",
+// "gateway", "metasched"; empty becomes "unknown").
+func MechanismReport(c *accounting.Central) []MechanismRow {
+	type agg struct {
+		jobs     int
+		nus      float64
+		accounts map[string]bool
+	}
+	byMech := make(map[string]*agg)
+	for _, r := range c.Jobs() {
+		mech := r.SubmitVia
+		if mech == "" {
+			mech = "unknown"
+		}
+		a := byMech[mech]
+		if a == nil {
+			a = &agg{accounts: make(map[string]bool)}
+			byMech[mech] = a
+		}
+		a.jobs++
+		a.nus += r.NUs
+		a.accounts[r.User] = true
+	}
+	mechs := make([]string, 0, len(byMech))
+	for m := range byMech {
+		mechs = append(mechs, m)
+	}
+	sort.Strings(mechs)
+	out := make([]MechanismRow, 0, len(mechs))
+	for _, m := range mechs {
+		a := byMech[m]
+		out = append(out, MechanismRow{Mechanism: m, Jobs: a.jobs, NUs: a.nus,
+			AccountUsers: len(a.accounts)})
+	}
+	return out
+}
+
+// ServiceRow summarizes the service quality one modality received.
+type ServiceRow struct {
+	Modality    job.Modality
+	Jobs        int
+	MeanWaitS   float64
+	MedianWaitS float64
+	P95WaitS    float64
+	KilledFrac  float64 // fraction terminated at the walltime limit
+}
+
+// ServiceReport computes per-modality queueing outcomes from classified
+// records: the "are the modalities we want to encourage being served
+// well?" question operators would ask next, once measurement exists.
+func ServiceReport(c *accounting.Central, results []Result) []ServiceRow {
+	jobs := c.Jobs()
+	waits := make(map[job.Modality]*metrics.Sample)
+	counts := make(map[job.Modality]int)
+	killed := make(map[job.Modality]int)
+	for i := range jobs {
+		m := results[i].Modality
+		if waits[m] == nil {
+			waits[m] = &metrics.Sample{}
+		}
+		waits[m].Add(jobs[i].WaitSeconds())
+		counts[m]++
+		if jobs[i].ExitStatus == "killed" {
+			killed[m]++
+		}
+	}
+	var out []ServiceRow
+	for _, info := range Taxonomy() {
+		s, ok := waits[info.ID]
+		if !ok {
+			continue
+		}
+		out = append(out, ServiceRow{
+			Modality:    info.ID,
+			Jobs:        counts[info.ID],
+			MeanWaitS:   s.Mean(),
+			MedianWaitS: s.Median(),
+			P95WaitS:    s.Percentile(95),
+			KilledFrac:  float64(killed[info.ID]) / float64(counts[info.ID]),
+		})
+	}
+	return out
+}
+
+// FieldRow is one row of the usage-by-science-field report.
+type FieldRow struct {
+	Field    string
+	Jobs     int
+	NUs      float64
+	Projects int
+}
+
+// FieldReport aggregates usage by the allocation's field of science —
+// the "who is the CI serving" breakdown program officers asked for.
+// Records without a field land under "unspecified".
+func FieldReport(c *accounting.Central) []FieldRow {
+	type agg struct {
+		jobs     int
+		nus      float64
+		projects map[string]bool
+	}
+	byField := make(map[string]*agg)
+	for _, r := range c.Jobs() {
+		f := r.ScienceField
+		if f == "" {
+			f = "unspecified"
+		}
+		a := byField[f]
+		if a == nil {
+			a = &agg{projects: make(map[string]bool)}
+			byField[f] = a
+		}
+		a.jobs++
+		a.nus += r.NUs
+		a.projects[r.Project] = true
+	}
+	fields := make([]string, 0, len(byField))
+	for f := range byField {
+		fields = append(fields, f)
+	}
+	// Sort by NUs descending (usage reports lead with the big consumers),
+	// ties by name for determinism.
+	sort.Slice(fields, func(i, j int) bool {
+		a, b := byField[fields[i]], byField[fields[j]]
+		if a.nus != b.nus {
+			return a.nus > b.nus
+		}
+		return fields[i] < fields[j]
+	})
+	out := make([]FieldRow, 0, len(fields))
+	for _, f := range fields {
+		a := byField[f]
+		out = append(out, FieldRow{Field: f, Jobs: a.jobs, NUs: a.nus,
+			Projects: len(a.projects)})
+	}
+	return out
+}
+
+// Validate compares classifications against the generator ground truth
+// carried in the records, returning a confusion matrix over the taxonomy.
+// This is the experiment the simulation substrate makes possible.
+func Validate(c *accounting.Central, results []Result) *metrics.Confusion {
+	conf := metrics.NewConfusion(ModalityLabels())
+	jobs := c.Jobs()
+	for i := range jobs {
+		truth := jobs[i].TruthModality
+		if truth == "" {
+			truth = string(job.ModUnknown)
+		}
+		conf.Observe(truth, string(results[i].Modality))
+	}
+	return conf
+}
+
+// GatewayVisibility quantifies the headline gateway measurement: how many
+// real people are hidden behind community accounts, versus how many the
+// attribute records recover.
+type GatewayVisibility struct {
+	CommunityAccounts int // distinct gateway community accounts seen
+	RecoveredEndUsers int // distinct end users visible via attributes
+	GatewayJobs       int
+	AttributedJobs    int
+}
+
+// Overlap describes how the user population spans modalities: the count
+// of users per number-of-modalities-used, and the pairwise overlap matrix.
+// Users pursuing several modalities are exactly the multi-objective users
+// the modality program wanted to understand.
+type Overlap struct {
+	// ByModalityCount[k] = users active in exactly k modalities (k ≥ 1).
+	ByModalityCount map[int]int
+	// Pairs[a][b] = users active in both modality a and b (a ≠ b); the
+	// diagonal holds each modality's total user count.
+	Pairs map[job.Modality]map[job.Modality]int
+}
+
+// MeasureOverlap computes modality overlap per effective user: gateway
+// end users where attributes exist, charging accounts otherwise.
+func MeasureOverlap(c *accounting.Central, results []Result) Overlap {
+	jobs := c.Jobs()
+	gwUser := make(map[int64]string)
+	for _, a := range c.GatewayAttrs() {
+		gwUser[a.JobID] = a.GatewayID + "/" + a.GatewayUser
+	}
+	perUser := make(map[string]map[job.Modality]bool)
+	for i := range jobs {
+		u := jobs[i].User
+		if p, ok := gwUser[jobs[i].JobID]; ok {
+			u = p
+		}
+		if perUser[u] == nil {
+			perUser[u] = make(map[job.Modality]bool)
+		}
+		perUser[u][results[i].Modality] = true
+	}
+	ov := Overlap{
+		ByModalityCount: make(map[int]int),
+		Pairs:           make(map[job.Modality]map[job.Modality]int),
+	}
+	add := func(a, b job.Modality) {
+		if ov.Pairs[a] == nil {
+			ov.Pairs[a] = make(map[job.Modality]int)
+		}
+		ov.Pairs[a][b]++
+	}
+	for _, mods := range perUser {
+		ov.ByModalityCount[len(mods)]++
+		list := make([]job.Modality, 0, len(mods))
+		for m := range mods {
+			list = append(list, m)
+		}
+		for _, a := range list {
+			for _, b := range list {
+				add(a, b)
+			}
+		}
+	}
+	return ov
+}
+
+// GatewayRow summarizes one gateway's activity.
+type GatewayRow struct {
+	GatewayID      string
+	Jobs           int
+	NUs            float64
+	EndUsers       int
+	AttributedFrac float64
+}
+
+// GatewayReport breaks gateway usage down per gateway, combining job
+// records with end-user attribute records.
+func GatewayReport(c *accounting.Central) []GatewayRow {
+	type agg struct {
+		jobs       int
+		nus        float64
+		people     map[string]bool
+		attributed int
+	}
+	byGW := make(map[string]*agg)
+	get := func(id string) *agg {
+		a := byGW[id]
+		if a == nil {
+			a = &agg{people: make(map[string]bool)}
+			byGW[id] = a
+		}
+		return a
+	}
+	attributed := make(map[int64]bool)
+	for _, r := range c.GatewayAttrs() {
+		get(r.GatewayID).people[r.GatewayUser] = true
+		attributed[r.JobID] = true
+	}
+	for _, r := range c.Jobs() {
+		if r.GatewayID == "" {
+			continue
+		}
+		a := get(r.GatewayID)
+		a.jobs++
+		a.nus += r.NUs
+		if attributed[r.JobID] {
+			a.attributed++
+		}
+	}
+	ids := make([]string, 0, len(byGW))
+	for id := range byGW {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]GatewayRow, 0, len(ids))
+	for _, id := range ids {
+		a := byGW[id]
+		frac := 0.0
+		if a.jobs > 0 {
+			frac = float64(a.attributed) / float64(a.jobs)
+		}
+		out = append(out, GatewayRow{GatewayID: id, Jobs: a.jobs, NUs: a.nus,
+			EndUsers: len(a.people), AttributedFrac: frac})
+	}
+	return out
+}
+
+// MeasureGatewayVisibility computes gateway end-user visibility from the
+// central database.
+func MeasureGatewayVisibility(c *accounting.Central) GatewayVisibility {
+	var v GatewayVisibility
+	accounts := make(map[string]bool)
+	people := make(map[string]bool)
+	attributed := make(map[int64]bool)
+	for _, a := range c.GatewayAttrs() {
+		people[a.GatewayID+"/"+a.GatewayUser] = true
+		attributed[a.JobID] = true
+	}
+	for _, r := range c.Jobs() {
+		if r.GatewayID == "" && r.SubmitVia != "gateway" {
+			continue
+		}
+		v.GatewayJobs++
+		accounts[r.User] = true
+		if attributed[r.JobID] {
+			v.AttributedJobs++
+		}
+	}
+	v.CommunityAccounts = len(accounts)
+	v.RecoveredEndUsers = len(people)
+	return v
+}

@@ -1,0 +1,388 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0:00:00:00"},
+		{61, "0:00:01:01"},
+		{Day + Hour + Minute + Second, "1:01:01:01"},
+		{-61, "-0:00:01:01"},
+		{Forever, "forever"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	k := New()
+	var got []int
+	k.Schedule(10, func(*Kernel) { got = append(got, 2) })
+	k.Schedule(5, func(*Kernel) { got = append(got, 1) })
+	k.Schedule(20, func(*Kernel) { got = append(got, 3) })
+	k.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("execution order = %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 20 {
+		t.Errorf("Now() = %v after run, want 20", k.Now())
+	}
+	if k.Executed() != 3 {
+		t.Errorf("Executed() = %d, want 3", k.Executed())
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	k := New()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		k.Schedule(7, func(*Kernel) { got = append(got, i) })
+	}
+	k.Run()
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("same-time events did not run in scheduling order: %v", got)
+	}
+}
+
+func TestAtClampsPast(t *testing.T) {
+	k := New()
+	fired := Time(-1)
+	k.Schedule(10, func(k *Kernel) {
+		k.At(3, func(k *Kernel) { fired = k.Now() }) // in the past
+	})
+	k.Run()
+	if fired != 10 {
+		t.Errorf("past event fired at %v, want clamped to 10", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	k := New()
+	ran := false
+	tm := k.Schedule(5, func(*Kernel) { ran = true })
+	if !tm.Pending() {
+		t.Fatal("timer should be pending before run")
+	}
+	if !k.Cancel(tm) {
+		t.Fatal("Cancel returned false for a pending timer")
+	}
+	if k.Cancel(tm) {
+		t.Fatal("second Cancel should return false")
+	}
+	k.Run()
+	if ran {
+		t.Error("canceled event still ran")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := New()
+	var count int
+	for i := 1; i <= 10; i++ {
+		k.Schedule(Time(i), func(*Kernel) { count++ })
+	}
+	k.RunUntil(5)
+	if count != 5 {
+		t.Errorf("events run by t=5: %d, want 5", count)
+	}
+	if k.Now() != 5 {
+		t.Errorf("Now() = %v, want 5", k.Now())
+	}
+	k.RunUntil(100)
+	if count != 10 {
+		t.Errorf("events run by t=100: %d, want 10", count)
+	}
+	if k.Now() != 100 {
+		t.Errorf("Now() = %v, want clock advanced to 100", k.Now())
+	}
+}
+
+func TestStopInsideHandler(t *testing.T) {
+	k := New()
+	var count int
+	for i := 1; i <= 10; i++ {
+		k.Schedule(Time(i), func(k *Kernel) {
+			count++
+			if count == 3 {
+				k.Stop()
+			}
+		})
+	}
+	k.Run()
+	if count != 3 {
+		t.Errorf("count = %d after Stop, want 3", count)
+	}
+	if k.Pending() != 7 {
+		t.Errorf("pending = %d, want 7", k.Pending())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	k := New()
+	var ticks []Time
+	var tk *Ticker
+	tk = k.Every(10, func(k *Kernel) {
+		ticks = append(ticks, k.Now())
+		if len(ticks) == 4 {
+			tk.Stop()
+		}
+	})
+	k.Run()
+	want := []Time{10, 20, 30, 40}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestTracer(t *testing.T) {
+	k := New()
+	var names []string
+	k.SetTracer(TracerFunc(func(at Time, name string) { names = append(names, name) }))
+	k.ScheduleNamed(1, "a", func(*Kernel) {})
+	k.ScheduleNamed(2, "b", func(*Kernel) {})
+	k.Run()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("traced names = %v, want [a b]", names)
+	}
+}
+
+func TestNextEventAt(t *testing.T) {
+	k := New()
+	if _, ok := k.NextEventAt(); ok {
+		t.Error("NextEventAt on empty kernel should report false")
+	}
+	k.Schedule(42, func(*Kernel) {})
+	if at, ok := k.NextEventAt(); !ok || at != 42 {
+		t.Errorf("NextEventAt = %v,%v, want 42,true", at, ok)
+	}
+}
+
+func TestSchedulePanics(t *testing.T) {
+	k := New()
+	assertPanics(t, "nil handler", func() { k.Schedule(1, nil) })
+	assertPanics(t, "zero-period ticker", func() { k.Every(0, func(*Kernel) {}) })
+}
+
+func assertPanics(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+// TestHeapPropertyRandom exercises the event heap with random schedules and
+// cancellations and checks the monotone, stable execution order invariant.
+func TestHeapPropertyRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := New()
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var fired []rec
+		var timers []*Timer
+		n := 200 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			at := Time(rng.Intn(50))
+			i := i
+			timers = append(timers, k.AtNamed(at, "", func(k *Kernel) {
+				fired = append(fired, rec{k.Now(), i})
+			}))
+		}
+		canceled := map[int]bool{}
+		for i := 0; i < n/4; i++ {
+			j := rng.Intn(n)
+			if k.Cancel(timers[j]) {
+				canceled[j] = true
+			}
+		}
+		k.Run()
+		if len(fired) != n-len(canceled) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i].at < fired[i-1].at {
+				return false // time went backwards
+			}
+			if fired[i].at == fired[i-1].at && fired[i].seq < fired[i-1].seq {
+				return false // tie not broken by schedule order
+			}
+		}
+		for _, r := range fired {
+			if canceled[r.seq] {
+				return false // canceled event fired
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResourceImmediateGrant(t *testing.T) {
+	k := New()
+	r := NewResource(k, 4)
+	granted := false
+	req := r.Acquire(3, func(*Kernel) { granted = true })
+	k.Run()
+	if !granted || !req.Granted() {
+		t.Fatal("acquire within capacity should grant")
+	}
+	if r.InUse() != 3 {
+		t.Errorf("InUse = %d, want 3", r.InUse())
+	}
+	r.Release(3)
+	if r.InUse() != 0 {
+		t.Errorf("InUse after release = %d, want 0", r.InUse())
+	}
+}
+
+func TestResourceFIFOBlocking(t *testing.T) {
+	k := New()
+	r := NewResource(k, 4)
+	var order []string
+	r.Acquire(4, func(*Kernel) { order = append(order, "big") })
+	// Head-of-line: this small request must wait behind the next big one.
+	k.Schedule(1, func(*Kernel) {
+		r.Acquire(3, func(*Kernel) { order = append(order, "second") })
+		r.Acquire(1, func(*Kernel) { order = append(order, "third") })
+	})
+	k.Schedule(2, func(*Kernel) { r.Release(4) })
+	k.Run()
+	want := []string{"big", "second", "third"}
+	if len(order) != 3 || order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		t.Errorf("grant order = %v, want %v", order, want)
+	}
+}
+
+func TestResourceTryAcquire(t *testing.T) {
+	k := New()
+	r := NewResource(k, 2)
+	if !r.TryAcquire(2) {
+		t.Fatal("TryAcquire within capacity failed")
+	}
+	if r.TryAcquire(1) {
+		t.Fatal("TryAcquire beyond capacity succeeded")
+	}
+	r.Release(2)
+	if !r.TryAcquire(1) {
+		t.Fatal("TryAcquire after release failed")
+	}
+}
+
+func TestResourceCancelWait(t *testing.T) {
+	k := New()
+	r := NewResource(k, 1)
+	r.Acquire(1, func(*Kernel) {})
+	waiting := r.Acquire(1, func(*Kernel) { t.Error("canceled waiter ran") })
+	if !r.CancelWait(waiting) {
+		t.Fatal("CancelWait on queued request failed")
+	}
+	if r.CancelWait(waiting) {
+		t.Fatal("second CancelWait should fail")
+	}
+	k.Run()
+}
+
+func TestResourceInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := New()
+		cap := 1 + rng.Intn(16)
+		r := NewResource(k, cap)
+		// Random acquire/hold/release processes.
+		for i := 0; i < 100; i++ {
+			units := 1 + rng.Intn(cap)
+			at := Time(rng.Intn(100))
+			hold := Time(1 + rng.Intn(20))
+			k.At(at, func(k *Kernel) {
+				r.Acquire(units, func(k *Kernel) {
+					if r.InUse() > r.Capacity() {
+						t.Fatalf("overcommitted: inUse=%d cap=%d", r.InUse(), r.Capacity())
+					}
+					k.Schedule(hold, func(*Kernel) { r.Release(units) })
+				})
+			})
+		}
+		k.Run()
+		return r.InUse() == 0 && r.QueueLen() == 0 && r.Grants() == 100
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFIFO(t *testing.T) {
+	k := New()
+	q := NewFIFO[int](k)
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue should fail")
+	}
+	q.Push(1)
+	q.Push(2)
+	q.Push(3)
+	if q.Len() != 3 || q.MaxLen() != 3 || q.Pushes() != 3 {
+		t.Errorf("Len/MaxLen/Pushes = %d/%d/%d, want 3/3/3", q.Len(), q.MaxLen(), q.Pushes())
+	}
+	if v, ok := q.Peek(); !ok || v != 1 {
+		t.Errorf("Peek = %d,%v, want 1,true", v, ok)
+	}
+	for want := 1; want <= 3; want++ {
+		v, ok := q.Pop()
+		if !ok || v != want {
+			t.Errorf("Pop = %d,%v, want %d,true", v, ok, want)
+		}
+	}
+}
+
+func TestFIFOMeanLen(t *testing.T) {
+	k := New()
+	q := NewFIFO[int](k)
+	q.Push(1) // length 1 during [0,10)
+	k.Schedule(10, func(*Kernel) { q.Pop() })
+	k.Run()
+	k.RunUntil(20) // length 0 during [10,20)
+	got := q.MeanLen()
+	if got < 0.49 || got > 0.51 {
+		t.Errorf("MeanLen = %v, want 0.5", got)
+	}
+}
+
+func BenchmarkKernelScheduleRun(b *testing.B) {
+	k := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(Time(i%97), func(*Kernel) {})
+		if k.Pending() > 4096 {
+			for k.Pending() > 0 {
+				k.Step()
+			}
+		}
+	}
+	k.Run()
+}

@@ -1,0 +1,215 @@
+package des
+
+// Resource models a counted resource (e.g. a pool of identical servers or
+// bandwidth tokens) with a FIFO wait queue. Acquire either grants units
+// immediately or parks the request until Release makes enough units
+// available. Grants are strictly FIFO: a large request at the head of the
+// queue blocks smaller requests behind it, which matches how batch-queue
+// head-of-line blocking behaves and keeps the primitive deterministic.
+type Resource struct {
+	k        *Kernel
+	capacity int
+	inUse    int
+	waiters  []*Request
+	// stats
+	grants    uint64
+	queuedSum float64 // integral of queue length over time
+	lastAt    Time
+}
+
+// Request is a pending or granted acquisition of resource units.
+type Request struct {
+	Units   int
+	fn      Handler
+	granted bool
+	dropped bool
+}
+
+// Granted reports whether the request has been granted.
+func (r *Request) Granted() bool { return r.granted }
+
+// NewResource returns a resource with the given capacity, which must be
+// positive.
+func NewResource(k *Kernel, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("des: NewResource with non-positive capacity")
+	}
+	return &Resource{k: k, capacity: capacity}
+}
+
+// Capacity returns the total number of units.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of units currently granted.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of requests waiting.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Grants returns the number of acquisitions granted so far.
+func (r *Resource) Grants() uint64 { return r.grants }
+
+func (r *Resource) accumulate() {
+	now := r.k.Now()
+	r.queuedSum += float64(len(r.waiters)) * float64(now-r.lastAt)
+	r.lastAt = now
+}
+
+// MeanQueueLen returns the time-averaged waiting-queue length since the
+// start of the simulation.
+func (r *Resource) MeanQueueLen() float64 {
+	r.accumulate()
+	if r.k.Now() == 0 {
+		return 0
+	}
+	return r.queuedSum / float64(r.k.Now())
+}
+
+// Acquire requests units of the resource; fn runs (as a scheduled event at
+// the current or a later virtual time) once the units are granted. It
+// returns a handle that can be used to cancel a still-waiting request.
+// Requesting more units than the capacity panics, since the request could
+// never be satisfied.
+func (r *Resource) Acquire(units int, fn Handler) *Request {
+	if units <= 0 {
+		panic("des: Acquire with non-positive units")
+	}
+	if units > r.capacity {
+		panic("des: Acquire exceeds resource capacity")
+	}
+	req := &Request{Units: units, fn: fn}
+	r.accumulate()
+	r.waiters = append(r.waiters, req)
+	r.dispatch()
+	return req
+}
+
+// TryAcquire grants units immediately if available, without queueing, and
+// reports whether the grant happened.
+func (r *Resource) TryAcquire(units int) bool {
+	if units <= 0 || units > r.capacity-r.inUse || len(r.waiters) > 0 {
+		return false
+	}
+	r.inUse += units
+	r.grants++
+	return true
+}
+
+// Release returns units to the pool and wakes eligible waiters.
+func (r *Resource) Release(units int) {
+	if units <= 0 {
+		panic("des: Release with non-positive units")
+	}
+	if units > r.inUse {
+		panic("des: Release of more units than in use")
+	}
+	r.accumulate()
+	r.inUse -= units
+	r.dispatch()
+}
+
+// CancelWait removes a still-queued request; it reports false if the
+// request was already granted or previously canceled.
+func (r *Resource) CancelWait(req *Request) bool {
+	if req.granted || req.dropped {
+		return false
+	}
+	for i, w := range r.waiters {
+		if w == req {
+			r.accumulate()
+			r.waiters = append(r.waiters[:i], r.waiters[i+1:]...)
+			req.dropped = true
+			r.dispatch()
+			return true
+		}
+	}
+	return false
+}
+
+// dispatch grants queued requests in FIFO order while capacity allows.
+// Grants are delivered as zero-delay events so the caller of Release sees
+// consistent state before any waiter runs.
+func (r *Resource) dispatch() {
+	for len(r.waiters) > 0 {
+		head := r.waiters[0]
+		if head.Units > r.capacity-r.inUse {
+			return
+		}
+		r.waiters = r.waiters[1:]
+		r.inUse += head.Units
+		head.granted = true
+		r.grants++
+		fn := head.fn
+		r.k.Schedule(0, fn)
+	}
+}
+
+// FIFO is an unbounded deterministic first-in-first-out queue of arbitrary
+// items, with time-averaged length statistics. It underlies batch queues
+// and transfer queues in higher layers.
+type FIFO[T any] struct {
+	k       *Kernel
+	items   []T
+	pushes  uint64
+	lenSum  float64
+	lastAt  Time
+	maxSeen int
+}
+
+// NewFIFO returns an empty queue bound to kernel k for statistics purposes.
+func NewFIFO[T any](k *Kernel) *FIFO[T] { return &FIFO[T]{k: k} }
+
+func (q *FIFO[T]) accumulate() {
+	now := q.k.Now()
+	q.lenSum += float64(len(q.items)) * float64(now-q.lastAt)
+	q.lastAt = now
+}
+
+// Push appends an item.
+func (q *FIFO[T]) Push(v T) {
+	q.accumulate()
+	q.items = append(q.items, v)
+	q.pushes++
+	if len(q.items) > q.maxSeen {
+		q.maxSeen = len(q.items)
+	}
+}
+
+// Pop removes and returns the oldest item; ok is false when empty.
+func (q *FIFO[T]) Pop() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	q.accumulate()
+	v = q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Peek returns the oldest item without removing it.
+func (q *FIFO[T]) Peek() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	return q.items[0], true
+}
+
+// Len returns the current number of queued items.
+func (q *FIFO[T]) Len() int { return len(q.items) }
+
+// MaxLen returns the maximum length observed.
+func (q *FIFO[T]) MaxLen() int { return q.maxSeen }
+
+// Pushes returns the total number of items ever enqueued.
+func (q *FIFO[T]) Pushes() uint64 { return q.pushes }
+
+// MeanLen returns the time-averaged queue length since simulation start.
+func (q *FIFO[T]) MeanLen() float64 {
+	q.accumulate()
+	if q.k.Now() == 0 {
+		return 0
+	}
+	return q.lenSum / float64(q.k.Now())
+}

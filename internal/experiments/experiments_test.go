@@ -1,0 +1,367 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/tgsim/tgmod/internal/job"
+)
+
+const testSeed = 11
+
+func TestT1Taxonomy(t *testing.T) {
+	tab := T1Taxonomy()
+	if tab.Rows() != len(job.AllModalities) {
+		t.Errorf("taxonomy rows = %d, want %d", tab.Rows(), len(job.AllModalities))
+	}
+	if !strings.Contains(tab.String(), "gateway") {
+		t.Error("taxonomy table missing gateway row")
+	}
+}
+
+func TestT2Mechanism(t *testing.T) {
+	tab, err := T2Mechanism(testSeed, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	for _, mech := range []string{"login", "gram", "gateway", "metasched"} {
+		if !strings.Contains(s, mech) {
+			t.Errorf("mechanism table missing %q:\n%s", mech, s)
+		}
+	}
+	// Expected shape: command-line (login+gram) NUs dominate gateway NUs.
+	var loginNUs, gatewayNUs float64
+	for i := 0; i < tab.Rows(); i++ {
+		v, _ := strconv.ParseFloat(strings.ReplaceAll(tab.Cell(i, 2), ",", ""), 64)
+		switch tab.Cell(i, 0) {
+		case "login":
+			loginNUs = v
+		case "gateway":
+			gatewayNUs = v
+		}
+	}
+	if loginNUs <= gatewayNUs {
+		t.Errorf("shape violation: login NUs (%v) should dominate gateway NUs (%v)",
+			loginNUs, gatewayNUs)
+	}
+}
+
+func TestT3ModalityUsage(t *testing.T) {
+	tab, err := T3ModalityUsage(testSeed, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() < 8 {
+		t.Errorf("modality table rows = %d, want ≥ 8:\n%s", tab.Rows(), tab.String())
+	}
+	// Gateway end users exceed gateway accounts (the headline asymmetry).
+	for i := 0; i < tab.Rows(); i++ {
+		if tab.Cell(i, 0) == string(job.ModGateway) {
+			accounts, _ := strconv.Atoi(strings.ReplaceAll(tab.Cell(i, 4), ",", ""))
+			people, _ := strconv.Atoi(strings.ReplaceAll(tab.Cell(i, 5), ",", ""))
+			if people <= accounts*5 {
+				t.Errorf("gateway end users (%d) should dwarf accounts (%d)", people, accounts)
+			}
+		}
+	}
+}
+
+func TestT4Coverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coverage sweep runs five scenarios")
+	}
+	tab, err := T4Coverage(testSeed, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 5 {
+		t.Fatalf("coverage rows = %d, want 5", tab.Rows())
+	}
+	// Shape: accuracy at full coverage beats zero coverage.
+	acc0, _ := strconv.ParseFloat(tab.Cell(0, 1), 64)
+	acc100, _ := strconv.ParseFloat(tab.Cell(4, 1), 64)
+	if acc100 <= acc0 {
+		t.Errorf("full-coverage accuracy (%v) should beat zero coverage (%v)", acc100, acc0)
+	}
+	// Gateway F1 at full coverage is ~1 (direct attribute).
+	gwF1, _ := strconv.ParseFloat(tab.Cell(4, 2), 64)
+	if gwF1 < 0.99 {
+		t.Errorf("gateway F1 at full coverage = %v, want ~1", gwF1)
+	}
+}
+
+func TestF1JobSize(t *testing.T) {
+	fig, err := F1JobSize(testSeed, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatal("F1 needs jobs and NUs series")
+	}
+	jobs, nus := fig.Series[0], fig.Series[1]
+	// Shape: job count concentrates in the small bins, NUs in large bins.
+	smallJobs := jobs.Y[0] + jobs.Y[1]
+	largeJobs := jobs.Y[len(jobs.Y)-1] + jobs.Y[len(jobs.Y)-2]
+	if smallJobs <= largeJobs {
+		t.Errorf("job counts should concentrate small: small=%v large=%v", smallJobs, largeJobs)
+	}
+	var totalNUs float64
+	for _, v := range nus.Y {
+		totalNUs += v
+	}
+	largeNUs := nus.Y[len(nus.Y)-1] + nus.Y[len(nus.Y)-2] + nus.Y[len(nus.Y)-3]
+	if largeNUs < totalNUs/2 {
+		t.Errorf("NUs should concentrate large: large=%v of %v", largeNUs, totalNUs)
+	}
+}
+
+func TestF2GatewayGrowth(t *testing.T) {
+	fig, err := F2GatewayGrowth(testSeed, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	us := fig.Series[0]
+	if len(us.Y) < 2 {
+		t.Fatalf("growth series too short: %v", us.Y)
+	}
+	// Shape: adoption ramp — the last period has more users than the first.
+	if us.Y[len(us.Y)-1] <= us.Y[0] {
+		t.Errorf("no growth: first=%v last=%v", us.Y[0], us.Y[len(us.Y)-1])
+	}
+}
+
+func TestF3WaitBySize(t *testing.T) {
+	fig, err := F3WaitBySize(testSeed, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("want 4 policies, got %d", len(fig.Series))
+	}
+}
+
+func TestF4Utilization(t *testing.T) {
+	fig, err := F4Utilization(testSeed, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fcfs, easy *float64
+	for _, s := range fig.Series {
+		if len(s.Y) == 0 {
+			t.Fatal("empty series")
+		}
+		last := s.Y[len(s.Y)-1] // highest offered load
+		switch s.Name {
+		case "fcfs":
+			fcfs = &last
+		case "easy":
+			easy = &last
+		}
+		for _, u := range s.Y {
+			if u < 0 || u > 1.01 {
+				t.Errorf("utilization out of range: %v", u)
+			}
+		}
+	}
+	if fcfs == nil || easy == nil {
+		t.Fatal("missing policy series")
+	}
+	// Shape: backfill beats FCFS at saturation.
+	if *easy <= *fcfs {
+		t.Errorf("EASY (%v) should beat FCFS (%v) at high load", *easy, *fcfs)
+	}
+}
+
+func TestF5Urgent(t *testing.T) {
+	tab, err := F5Urgent(testSeed, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 5 {
+		t.Fatalf("urgent rows = %d, want 5", tab.Rows())
+	}
+	// Shape: zero urgent rate → zero preemptions; positive rate → some.
+	if tab.Cell(0, 4) != "0" {
+		t.Errorf("baseline preemptions = %s, want 0", tab.Cell(0, 4))
+	}
+	preempts, _ := strconv.Atoi(strings.ReplaceAll(tab.Cell(3, 4), ",", ""))
+	if preempts == 0 {
+		t.Error("no preemptions at 24 urgent/day; preemption path untested")
+	}
+	// Urgent waits stay small (seconds-to-minutes, not hours).
+	wait, _ := strconv.ParseFloat(strings.ReplaceAll(tab.Cell(3, 3), ",", ""), 64)
+	if wait > 600 {
+		t.Errorf("mean urgent wait = %vs; urgent computing is not urgent", wait)
+	}
+	// Checkpointing slashes the victim cost at the same urgent rate.
+	lostRestart, _ := strconv.ParseFloat(strings.ReplaceAll(tab.Cell(3, 5), ",", ""), 64)
+	lostCkpt, _ := strconv.ParseFloat(strings.ReplaceAll(tab.Cell(4, 5), ",", ""), 64)
+	if lostCkpt >= lostRestart {
+		t.Errorf("checkpoint lost work (%v) should be below restart lost work (%v)",
+			lostCkpt, lostRestart)
+	}
+}
+
+func TestF6Transfers(t *testing.T) {
+	tab, err := F6Transfers(testSeed, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.String(), "data-centric") {
+		t.Errorf("transfer table missing data-centric row:\n%s", tab.String())
+	}
+}
+
+func TestF7Kernel(t *testing.T) {
+	tab := F7Kernel(Quick)
+	if tab.Rows() != 3 {
+		t.Fatalf("kernel rows = %d", tab.Rows())
+	}
+	for i := 0; i < tab.Rows(); i++ {
+		v, _ := strconv.ParseFloat(strings.ReplaceAll(tab.Cell(i, 1), ",", ""), 64)
+		if v < 100000 {
+			t.Errorf("kernel throughput %v events/s is implausibly slow", v)
+		}
+	}
+}
+
+func TestF8Inference(t *testing.T) {
+	tab, err := F8Inference(testSeed, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 12 {
+		t.Fatalf("ablation rows = %d, want 12", tab.Rows())
+	}
+}
+
+func TestGatewayVisibilityTable(t *testing.T) {
+	tab, err := GatewayVisibilityTable(testSeed, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.String(), "hidden-user multiplier") {
+		t.Errorf("visibility table incomplete:\n%s", tab.String())
+	}
+}
+
+func TestConcentrationTable(t *testing.T) {
+	tab, err := ConcentrationTable(testSeed, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 4 {
+		t.Errorf("concentration rows = %d, want 4", tab.Rows())
+	}
+}
+
+func TestF9Prediction(t *testing.T) {
+	tab, err := F9Prediction(testSeed, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 3 {
+		t.Fatalf("prediction rows = %d, want 3", tab.Rows())
+	}
+	// Shape: under EASY the estimate is conservative — far more probes
+	// start earlier than predicted than later.
+	for i := 0; i < tab.Rows(); i++ {
+		early, _ := strconv.Atoi(strings.ReplaceAll(tab.Cell(i, 4), ",", ""))
+		late, _ := strconv.Atoi(strings.ReplaceAll(tab.Cell(i, 5), ",", ""))
+		if late > early {
+			t.Errorf("load %s: late starts (%d) exceed early starts (%d); estimate not conservative",
+				tab.Cell(i, 0), late, early)
+		}
+	}
+}
+
+func TestServiceTable(t *testing.T) {
+	tab, err := ServiceTable(testSeed, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() < 8 {
+		t.Errorf("service rows = %d, want ≥ 8:\n%s", tab.Rows(), tab.String())
+	}
+	// Urgent jobs must show near-zero waits; find the row.
+	for i := 0; i < tab.Rows(); i++ {
+		if tab.Cell(i, 0) == "urgent" {
+			mean, _ := strconv.ParseFloat(strings.ReplaceAll(tab.Cell(i, 2), ",", ""), 64)
+			if mean > 0.1 {
+				t.Errorf("urgent mean wait = %vh, want ~0", mean)
+			}
+		}
+	}
+}
+
+func TestFieldTable(t *testing.T) {
+	tab, err := FieldTable(testSeed, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() < 5 {
+		t.Errorf("field rows = %d, want several:\n%s", tab.Rows(), tab.String())
+	}
+}
+
+func TestCampaignTable(t *testing.T) {
+	tab, err := CampaignTable(testSeed, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 2 {
+		t.Fatalf("campaign rows = %d, want 2 (ensemble, workflow)", tab.Rows())
+	}
+	// Ensemble campaigns are tagged or burst-inferred: most recovered.
+	trueC, _ := strconv.Atoi(strings.ReplaceAll(tab.Cell(0, 1), ",", ""))
+	recovered, _ := strconv.Atoi(strings.ReplaceAll(tab.Cell(0, 3), ",", ""))
+	if trueC == 0 {
+		t.Fatal("no true ensemble campaigns in the shared run")
+	}
+	if float64(recovered) < 0.8*float64(trueC) {
+		t.Errorf("ensemble campaign recovery %d/%d, want ≥ 80%%", recovered, trueC)
+	}
+}
+
+func TestOverlapTable(t *testing.T) {
+	tab, err := OverlapTable(testSeed, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() < 1 {
+		t.Fatal("overlap table empty")
+	}
+	// Most users are single-modality; the single-modality row must
+	// dominate the second row when one exists.
+	one, _ := strconv.Atoi(strings.ReplaceAll(tab.Cell(0, 1), ",", ""))
+	if one < 100 {
+		t.Errorf("single-modality users = %d, want many", one)
+	}
+	if tab.Rows() > 1 {
+		two, _ := strconv.Atoi(strings.ReplaceAll(tab.Cell(1, 1), ",", ""))
+		if two >= one {
+			t.Errorf("multi-modality users (%d) should be fewer than single (%d)", two, one)
+		}
+	}
+}
+
+func TestMaintenanceTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three scenarios")
+	}
+	tab, err := MaintenanceTable(testSeed, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 3 {
+		t.Fatalf("maintenance rows = %d, want 3", tab.Rows())
+	}
+	// Shape: more maintenance → fewer NUs delivered.
+	none, _ := strconv.ParseFloat(strings.ReplaceAll(tab.Cell(0, 2), ",", ""), 64)
+	heavy, _ := strconv.ParseFloat(strings.ReplaceAll(tab.Cell(2, 2), ",", ""), 64)
+	if heavy >= none {
+		t.Errorf("NUs with heavy maintenance (%v) should trail no-maintenance (%v)", heavy, none)
+	}
+}

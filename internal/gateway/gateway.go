@@ -1,0 +1,111 @@
+// Package gateway models science gateways: web portals that submit jobs to
+// the grid on behalf of large end-user communities through a shared
+// community account. Gateways are where the usage-modality problem is most
+// acute — the accounting system sees one "user" (the community account),
+// so without additional attributes the size and identity of the real user
+// population is invisible. The AAAA model fixes this by attaching a
+// per-request gateway-user attribute record to every submission; this
+// package emits those records with a configurable coverage probability to
+// model partial deployment.
+package gateway
+
+import (
+	"fmt"
+
+	"github.com/tgsim/tgmod/internal/accounting"
+	"github.com/tgsim/tgmod/internal/des"
+	"github.com/tgsim/tgmod/internal/job"
+	"github.com/tgsim/tgmod/internal/simrand"
+)
+
+// Submitter is where a gateway sends jobs (the metascheduler or a specific
+// machine's scheduler, wrapped by the scenario layer).
+type Submitter interface {
+	SubmitJob(j *job.Job)
+}
+
+// Gateway is one science gateway.
+type Gateway struct {
+	ID string
+	// CommunityAccount is the shared account all gateway jobs charge.
+	CommunityAccount string
+	// Project is the community allocation.
+	Project string
+	// ScienceField tags the gateway's domain.
+	ScienceField string
+	// AttrCoverage is the probability a submission carries its gateway
+	// end-user attribute record (1.0 = fully instrumented AAAA deployment).
+	AttrCoverage float64
+
+	k      *des.Kernel
+	rng    *simrand.Stream
+	submit Submitter
+	ledger *accounting.Ledger
+
+	// Registered end users and activity counters.
+	users       map[string]bool
+	requests    uint64
+	attributed  uint64
+	firstSeenAt map[string]des.Time
+}
+
+// New returns a gateway that submits through s and spools attribute records
+// into ledger.
+func New(id, account, project, field string, coverage float64,
+	k *des.Kernel, rng *simrand.Stream, s Submitter, ledger *accounting.Ledger) (*Gateway, error) {
+	if id == "" || account == "" || project == "" {
+		return nil, fmt.Errorf("gateway: id, account, and project are required")
+	}
+	if coverage < 0 || coverage > 1 {
+		return nil, fmt.Errorf("gateway %s: coverage %v out of [0,1]", id, coverage)
+	}
+	return &Gateway{
+		ID: id, CommunityAccount: account, Project: project, ScienceField: field,
+		AttrCoverage: coverage, k: k, rng: rng, submit: s, ledger: ledger,
+		users: make(map[string]bool), firstSeenAt: make(map[string]des.Time),
+	}, nil
+}
+
+// Users returns the number of distinct end users seen so far.
+func (g *Gateway) Users() int { return len(g.users) }
+
+// Requests returns the number of jobs submitted.
+func (g *Gateway) Requests() uint64 { return g.requests }
+
+// Attributed returns how many submissions carried their end-user attribute.
+func (g *Gateway) Attributed() uint64 { return g.attributed }
+
+// FirstSeen returns when an end user first used the gateway.
+func (g *Gateway) FirstSeen(user string) (des.Time, bool) {
+	t, ok := g.firstSeenAt[user]
+	return t, ok
+}
+
+// Request submits a job on behalf of end-user endUser. The job is rewritten
+// to the community account and tagged as a gateway submission; with
+// probability AttrCoverage the end-user attribute record is also emitted.
+func (g *Gateway) Request(endUser string, j *job.Job) {
+	if !g.users[endUser] {
+		g.users[endUser] = true
+		g.firstSeenAt[endUser] = g.k.Now()
+	}
+	g.requests++
+	j.User = g.CommunityAccount
+	j.Project = g.Project
+	j.Attr.SubmitVia = "gateway"
+	j.Attr.GatewayID = g.ID
+	if j.Attr.ScienceField == "" {
+		j.Attr.ScienceField = g.ScienceField
+	}
+	if g.rng.Bool(g.AttrCoverage) {
+		j.Attr.GatewayUser = endUser
+		g.attributed++
+		g.ledger.AddGatewayAttr(accounting.GatewayAttrRecord{
+			GatewayID:   g.ID,
+			GatewayUser: endUser,
+			JobID:       int64(j.ID),
+			At:          float64(g.k.Now()),
+		})
+	}
+	g.submit.SubmitJob(j)
+}

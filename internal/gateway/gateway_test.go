@@ -1,0 +1,141 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/tgsim/tgmod/internal/accounting"
+	"github.com/tgsim/tgmod/internal/des"
+	"github.com/tgsim/tgmod/internal/job"
+	"github.com/tgsim/tgmod/internal/simrand"
+)
+
+type captureSubmitter struct{ jobs []*job.Job }
+
+func (c *captureSubmitter) SubmitJob(j *job.Job) { c.jobs = append(c.jobs, j) }
+
+func mkJob(id int64) *job.Job {
+	return &job.Job{ID: job.ID(id), Name: "sim", User: "end", Project: "x",
+		Cores: 4, ReqWalltime: 100, RunTime: 50}
+}
+
+func TestNewValidation(t *testing.T) {
+	k := des.New()
+	rng := simrand.New(1)
+	sub := &captureSubmitter{}
+	l := accounting.NewLedger("s")
+	if _, err := New("", "acct", "proj", "f", 1, k, rng, sub, l); err == nil {
+		t.Error("empty id accepted")
+	}
+	if _, err := New("g", "", "proj", "f", 1, k, rng, sub, l); err == nil {
+		t.Error("empty account accepted")
+	}
+	if _, err := New("g", "acct", "", "f", 1, k, rng, sub, l); err == nil {
+		t.Error("empty project accepted")
+	}
+	if _, err := New("g", "acct", "proj", "f", 1.5, k, rng, sub, l); err == nil {
+		t.Error("coverage > 1 accepted")
+	}
+	if _, err := New("g", "acct", "proj", "f", -0.1, k, rng, sub, l); err == nil {
+		t.Error("negative coverage accepted")
+	}
+}
+
+func TestRequestRewritesIdentity(t *testing.T) {
+	k := des.New()
+	sub := &captureSubmitter{}
+	l := accounting.NewLedger("s")
+	g, err := New("nanohub", "nanohub-community", "TG-GATEWAY1", "nanoscience",
+		1.0, k, simrand.New(1), sub, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := mkJob(1)
+	g.Request("researcher-7", j)
+	if len(sub.jobs) != 1 {
+		t.Fatal("job not submitted")
+	}
+	if j.User != "nanohub-community" || j.Project != "TG-GATEWAY1" {
+		t.Errorf("community identity not applied: %s/%s", j.User, j.Project)
+	}
+	if j.Attr.SubmitVia != "gateway" || j.Attr.GatewayID != "nanohub" {
+		t.Errorf("gateway attributes missing: %+v", j.Attr)
+	}
+	if j.Attr.GatewayUser != "researcher-7" {
+		t.Errorf("end-user attribute missing at full coverage: %+v", j.Attr)
+	}
+	if j.Attr.ScienceField != "nanoscience" {
+		t.Errorf("science field not defaulted: %q", j.Attr.ScienceField)
+	}
+	// Attribute record spooled.
+	p := l.Flush(k.Now())
+	if p == nil || len(p.GatewayAttrs) != 1 || p.GatewayAttrs[0].GatewayUser != "researcher-7" {
+		t.Errorf("attribute record not spooled: %+v", p)
+	}
+}
+
+func TestCoverageControlsAttribution(t *testing.T) {
+	k := des.New()
+	sub := &captureSubmitter{}
+	l := accounting.NewLedger("s")
+	g, err := New("g", "acct", "proj", "f", 0.5, k, simrand.New(42), sub, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		g.Request(fmt.Sprintf("user-%d", i%100), mkJob(int64(i)))
+	}
+	got := float64(g.Attributed()) / n
+	if got < 0.45 || got > 0.55 {
+		t.Errorf("attribution rate = %v, want ~0.5", got)
+	}
+	if g.Requests() != n {
+		t.Errorf("Requests = %d, want %d", g.Requests(), n)
+	}
+	if g.Users() != 100 {
+		t.Errorf("Users = %d, want 100", g.Users())
+	}
+}
+
+func TestZeroCoverageEmitsNothing(t *testing.T) {
+	k := des.New()
+	sub := &captureSubmitter{}
+	l := accounting.NewLedger("s")
+	g, err := New("g", "acct", "proj", "f", 0, k, simrand.New(1), sub, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		g.Request("u", mkJob(int64(i)))
+	}
+	if g.Attributed() != 0 {
+		t.Errorf("Attributed = %d at zero coverage", g.Attributed())
+	}
+	if l.Pending() != 0 {
+		t.Error("attribute records spooled at zero coverage")
+	}
+	// Jobs still tagged as gateway submissions (that attribute is free).
+	if sub.jobs[0].Attr.GatewayID != "g" || sub.jobs[0].Attr.GatewayUser != "" {
+		t.Errorf("attribute state wrong: %+v", sub.jobs[0].Attr)
+	}
+}
+
+func TestFirstSeen(t *testing.T) {
+	k := des.New()
+	sub := &captureSubmitter{}
+	g, err := New("g", "acct", "proj", "f", 1, k, simrand.New(1), sub, accounting.NewLedger("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Schedule(100, func(*des.Kernel) { g.Request("alice", mkJob(1)) })
+	k.Schedule(200, func(*des.Kernel) { g.Request("alice", mkJob(2)) })
+	k.Run()
+	at, ok := g.FirstSeen("alice")
+	if !ok || at != 100 {
+		t.Errorf("FirstSeen = %v,%v, want 100,true", at, ok)
+	}
+	if _, ok := g.FirstSeen("bob"); ok {
+		t.Error("FirstSeen for unseen user")
+	}
+}

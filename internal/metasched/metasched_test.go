@@ -1,0 +1,191 @@
+package metasched
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tgsim/tgmod/internal/des"
+	"github.com/tgsim/tgmod/internal/grid"
+	"github.com/tgsim/tgmod/internal/job"
+	"github.com/tgsim/tgmod/internal/sched"
+	"github.com/tgsim/tgmod/internal/simrand"
+)
+
+var nextID job.ID
+
+func mkJob(cores int, run, wall des.Time) *job.Job {
+	nextID++
+	return &job.Job{ID: nextID, Name: "t", User: "u", Project: "p",
+		Cores: cores, RunTime: run, ReqWalltime: wall}
+}
+
+// twoMachines builds schedulers for a big and a small machine.
+func twoMachines(k *des.Kernel) []*sched.Scheduler {
+	big := &grid.Machine{ID: "big", Site: "s1", Nodes: 64, CoresPerNode: 8,
+		GFlopsPerCore: 4, NUPerCoreHour: 2, UrgentCapable: true} // 512 cores
+	small := &grid.Machine{ID: "small", Site: "s2", Nodes: 8, CoresPerNode: 8,
+		GFlopsPerCore: 2, NUPerCoreHour: 1} // 64 cores
+	return []*sched.Scheduler{
+		sched.New(k, big, sched.EASY),
+		sched.New(k, small, sched.EASY),
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	names := map[SelectPolicy]string{
+		Random: "random", LeastLoaded: "least-loaded",
+		BestEstimated: "best-estimated", DataAware: "data-aware",
+		SelectPolicy(9): "select(9)",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), want)
+		}
+	}
+}
+
+func TestFeasibilityFiltering(t *testing.T) {
+	k := des.New()
+	b := New(k, Random, simrand.New(1), twoMachines(k))
+	// 100 cores only fits "big".
+	j := mkJob(100, 10, 10)
+	b.Submit(j)
+	k.Run()
+	if j.Machine != "big" {
+		t.Errorf("100-core job routed to %q, want big", j.Machine)
+	}
+	// Urgent only fits urgent-capable "big".
+	u := mkJob(8, 10, 10)
+	u.QOS = job.QOSUrgent
+	b.Submit(u)
+	k.Run()
+	if u.Machine != "big" {
+		t.Errorf("urgent job routed to %q, want big", u.Machine)
+	}
+	// Nothing fits 10000 cores.
+	imp := mkJob(10000, 10, 10)
+	b.Submit(imp)
+	if imp.State != job.StateFailed {
+		t.Errorf("impossible job state = %v, want failed", imp.State)
+	}
+}
+
+func TestLeastLoadedSpreads(t *testing.T) {
+	k := des.New()
+	scheds := twoMachines(k)
+	b := New(k, LeastLoaded, simrand.New(1), scheds)
+	// Saturate big with queued jobs so small becomes least loaded.
+	for i := 0; i < 3; i++ {
+		b.Submit(mkJob(512, 1000, 1000)) // only fits big; queue grows there
+	}
+	j := mkJob(32, 10, 10)
+	b.Submit(j)
+	if j.Machine != "small" {
+		t.Errorf("least-loaded routed to %q, want small", j.Machine)
+	}
+	k.Run()
+}
+
+func TestBestEstimatedPicksIdleMachine(t *testing.T) {
+	k := des.New()
+	scheds := twoMachines(k)
+	b := New(k, BestEstimated, simrand.New(1), scheds)
+	// Occupy big entirely for a long time.
+	b.Submit(mkJob(512, 5000, 5000))
+	b.Submit(mkJob(512, 5000, 5000))
+	j := mkJob(32, 10, 10)
+	b.Submit(j)
+	if j.Machine != "small" {
+		t.Errorf("best-estimated routed to %q, want idle small", j.Machine)
+	}
+	k.Run()
+	if b.Routed() != 3 {
+		t.Errorf("Routed = %d, want 3", b.Routed())
+	}
+	if b.RoutedTo("small") != 1 {
+		t.Errorf("RoutedTo(small) = %d, want 1", b.RoutedTo("small"))
+	}
+}
+
+func TestDataAwarePrefersDataLocality(t *testing.T) {
+	k := des.New()
+	scheds := twoMachines(k)
+	b := New(k, DataAware, simrand.New(1), scheds)
+	b.DataHome["p"] = "s2"
+	// Staging to s1 is expensive, to s2 free.
+	b.Stage = func(from, to string, bytes int64) float64 {
+		if from == to {
+			return 0
+		}
+		return 10000
+	}
+	j := mkJob(32, 10, 10)
+	j.InputBytes = 1 << 30
+	b.Submit(j)
+	if j.Machine != "small" { // small is at site s2, next to the data
+		t.Errorf("data-aware routed to %q, want small (co-located with data)", j.Machine)
+	}
+	k.Run()
+}
+
+func TestBrokerTagging(t *testing.T) {
+	k := des.New()
+	b := New(k, Random, simrand.New(1), twoMachines(k))
+	j := mkJob(8, 10, 10)
+	b.Submit(j)
+	if j.Attr.BrokerJobID == "" || j.Attr.SubmitVia != "metasched" {
+		t.Errorf("broker attributes missing: %+v", j.Attr)
+	}
+	// Partial coverage.
+	b2 := New(k, Random, simrand.New(7), twoMachines(k))
+	b2.TagCoverage = 0
+	j2 := mkJob(8, 10, 10)
+	b2.Submit(j2)
+	if j2.Attr.BrokerJobID != "" {
+		t.Errorf("broker tag leaked at zero coverage: %+v", j2.Attr)
+	}
+	k.Run()
+}
+
+func TestCoAllocate(t *testing.T) {
+	k := des.New()
+	scheds := twoMachines(k)
+	b := New(k, BestEstimated, simrand.New(1), scheds)
+	p1 := mkJob(256, 100, 200)
+	p2 := mkJob(32, 100, 200)
+	start, err := b.CoAllocate([]*job.Job{p1, p2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if p1.StartTime != start || p2.StartTime != start {
+		t.Errorf("parts started at %v and %v, want synchronized %v",
+			p1.StartTime, p2.StartTime, start)
+	}
+	if p1.Machine == p2.Machine {
+		t.Error("co-allocation placed both parts on one machine")
+	}
+	if p1.Attr.CoAllocID == "" || p1.Attr.CoAllocID != p2.Attr.CoAllocID {
+		t.Errorf("co-allocation ids wrong: %q vs %q", p1.Attr.CoAllocID, p2.Attr.CoAllocID)
+	}
+	if b.CoAllocations() != 1 {
+		t.Errorf("CoAllocations = %d, want 1", b.CoAllocations())
+	}
+	if p1.State != job.StateCompleted || p2.State != job.StateCompleted {
+		t.Errorf("parts did not complete: %v %v", p1.State, p2.State)
+	}
+}
+
+func TestCoAllocateErrors(t *testing.T) {
+	k := des.New()
+	b := New(k, Random, simrand.New(1), twoMachines(k))
+	if _, err := b.CoAllocate([]*job.Job{mkJob(1, 1, 1)}); err == nil {
+		t.Error("single-part co-allocation accepted")
+	}
+	// Three parts but only two machines → no distinct machine for part 3.
+	parts := []*job.Job{mkJob(8, 10, 10), mkJob(8, 10, 10), mkJob(8, 10, 10)}
+	_, err := b.CoAllocate(parts)
+	if err == nil || !strings.Contains(err.Error(), "no machine") {
+		t.Errorf("expected distinct-machine failure, got %v", err)
+	}
+}

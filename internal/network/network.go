@@ -1,0 +1,417 @@
+// Package network models the federation's wide-area network: sites attach
+// to a backbone through access links, and bulk data transfers (the
+// GridFTP-style movement that data-centric usage depends on) share link
+// bandwidth using max-min fair progressive filling.
+//
+// The model is flow-level rather than packet-level: each transfer is a
+// fluid flow whose instantaneous rate is recomputed whenever the set of
+// active flows changes. This is the standard fidelity/performance tradeoff
+// for grid simulators; it captures contention, bottlenecks, and transfer
+// completion times without simulating packets.
+package network
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/tgsim/tgmod/internal/des"
+)
+
+// Link is a directed capacity constraint, in bytes/second.
+type Link struct {
+	ID   string
+	Bps  float64
+	used float64
+}
+
+// Topology is a star WAN: every site has an ingress and egress access link
+// to an over-provisioned backbone, which matches how TeraGrid sites hung
+// off dedicated 10–30 Gb/s connections. A transfer from A to B traverses
+// A's egress link and B's ingress link.
+type Topology struct {
+	egress  map[string]*Link
+	ingress map[string]*Link
+	// backbone, when non-nil, is a shared capacity every inter-site flow
+	// also traverses; nil models an over-provisioned core.
+	backbone *Link
+	// RTT between each pair of sites, seconds; used as a fixed startup
+	// latency per transfer.
+	rtt map[[2]string]float64
+}
+
+// NewTopology returns an empty topology with an over-provisioned backbone.
+func NewTopology() *Topology {
+	return &Topology{
+		egress:  make(map[string]*Link),
+		ingress: make(map[string]*Link),
+		rtt:     make(map[[2]string]float64),
+	}
+}
+
+// SetBackbone constrains the shared core to gbps gigabits/s. All inter-site
+// flows contend for it in addition to their access links; pass 0 to remove
+// the constraint.
+func (t *Topology) SetBackbone(gbps float64) {
+	if gbps <= 0 {
+		t.backbone = nil
+		return
+	}
+	t.backbone = &Link{ID: "backbone", Bps: gbps * 1e9 / 8}
+}
+
+// AddSite attaches a site with symmetric access bandwidth gbps (gigabits/s)
+// to the backbone.
+func (t *Topology) AddSite(site string, gbps float64) error {
+	if gbps <= 0 {
+		return fmt.Errorf("network: site %s: non-positive bandwidth", site)
+	}
+	if _, dup := t.egress[site]; dup {
+		return fmt.Errorf("network: duplicate site %s", site)
+	}
+	bps := gbps * 1e9 / 8
+	t.egress[site] = &Link{ID: site + "-out", Bps: bps}
+	t.ingress[site] = &Link{ID: site + "-in", Bps: bps}
+	return nil
+}
+
+// SetRTT records the round-trip time between two sites (symmetric).
+func (t *Topology) SetRTT(a, b string, seconds float64) {
+	t.rtt[[2]string{a, b}] = seconds
+	t.rtt[[2]string{b, a}] = seconds
+}
+
+// RTT returns the round-trip time between two sites, defaulting to 40 ms
+// for unspecified pairs and 0 for intra-site movement.
+func (t *Topology) RTT(a, b string) float64 {
+	if a == b {
+		return 0
+	}
+	if v, ok := t.rtt[[2]string{a, b}]; ok {
+		return v
+	}
+	return 0.04
+}
+
+// Transfer is a bulk data movement between two sites.
+type Transfer struct {
+	ID        int64
+	Src, Dst  string
+	Bytes     int64
+	Streams   int // parallel TCP streams (striping); ≥1
+	StartedAt des.Time
+	EndedAt   des.Time
+	// Campaign/ownership attributes carried into accounting.
+	User    string
+	Project string
+	JobID   int64 // staging transfers reference the job they serve; 0 if none
+
+	remaining float64
+	rate      float64 // current fluid rate, bytes/s
+	done      func(*Transfer)
+	links     []*Link
+}
+
+// Duration returns the wall-clock time the transfer took (valid once done).
+func (tr *Transfer) Duration() des.Time { return tr.EndedAt - tr.StartedAt }
+
+// EffectiveBps returns the achieved mean throughput (valid once done).
+func (tr *Transfer) EffectiveBps() float64 {
+	d := float64(tr.Duration())
+	if d <= 0 {
+		return 0
+	}
+	return float64(tr.Bytes) / d
+}
+
+// Fabric executes transfers over a topology under max-min fair sharing.
+type Fabric struct {
+	K      *des.Kernel
+	T      *Topology
+	active map[int64]*Transfer
+	nextID int64
+	// recompute event bookkeeping: at most one pending completion event;
+	// when rates change the event is re-derived.
+	wake *des.Timer
+	// Statistics.
+	completed     uint64
+	bytesMoved    float64
+	intraSite     uint64
+	lastAccumAt   des.Time
+	lastAdvance   des.Time           // last instant flow progress was integrated
+	busyIntegrals map[string]float64 // per egress link: byte-seconds of use
+}
+
+// NewFabric returns a fabric over topology t driven by kernel k.
+func NewFabric(k *des.Kernel, t *Topology) *Fabric {
+	return &Fabric{
+		K:             k,
+		T:             t,
+		active:        make(map[int64]*Transfer),
+		busyIntegrals: make(map[string]float64),
+	}
+}
+
+// Active returns the number of in-flight transfers.
+func (f *Fabric) Active() int { return len(f.active) }
+
+// Completed returns the number of finished transfers.
+func (f *Fabric) Completed() uint64 { return f.completed }
+
+// BytesMoved returns total bytes delivered across all finished and
+// in-flight transfers.
+func (f *Fabric) BytesMoved() float64 { return f.bytesMoved }
+
+// LinkUtilization returns the time-averaged utilization of a site's egress
+// link since simulation start.
+func (f *Fabric) LinkUtilization(site string) float64 {
+	l, ok := f.T.egress[site]
+	if !ok {
+		return 0
+	}
+	f.accumulate()
+	total := l.Bps * float64(f.K.Now())
+	if total == 0 {
+		return 0
+	}
+	return f.busyIntegrals[site] / total
+}
+
+func (f *Fabric) accumulate() {
+	now := f.K.Now()
+	dt := float64(now - f.lastAccumAt)
+	if dt > 0 {
+		for site, l := range f.T.egress {
+			f.busyIntegrals[site] += l.used * dt
+		}
+	}
+	f.lastAccumAt = now
+}
+
+// Start begins a transfer; done (may be nil) is invoked at completion.
+// Intra-site transfers complete after a fixed local-copy time derived from
+// an assumed 2 GB/s filesystem-to-filesystem path.
+func (f *Fabric) Start(src, dst string, bytes int64, streams int, done func(*Transfer)) (*Transfer, error) {
+	if bytes <= 0 {
+		return nil, fmt.Errorf("network: non-positive transfer size %d", bytes)
+	}
+	if streams < 1 {
+		streams = 1
+	}
+	f.nextID++
+	tr := &Transfer{
+		ID: f.nextID, Src: src, Dst: dst, Bytes: bytes, Streams: streams,
+		StartedAt: f.K.Now(), remaining: float64(bytes), done: done,
+	}
+	if src == dst {
+		f.intraSite++
+		const localBps = 2e9
+		dur := des.Time(float64(bytes) / localBps)
+		f.K.ScheduleNamed(dur, "xfer-local", func(*des.Kernel) {
+			tr.EndedAt = f.K.Now()
+			f.completed++
+			f.bytesMoved += float64(bytes)
+			if tr.done != nil {
+				tr.done(tr)
+			}
+		})
+		return tr, nil
+	}
+	out, ok := f.T.egress[src]
+	if !ok {
+		return nil, fmt.Errorf("network: unknown source site %s", src)
+	}
+	in, ok := f.T.ingress[dst]
+	if !ok {
+		return nil, fmt.Errorf("network: unknown destination site %s", dst)
+	}
+	tr.links = []*Link{out, in}
+	if f.T.backbone != nil {
+		tr.links = append(tr.links, f.T.backbone)
+	}
+	// Startup latency: control-channel setup plus striping negotiation,
+	// a few RTTs. After it elapses the flow joins the fluid model.
+	setup := des.Time(3 * f.T.RTT(src, dst))
+	f.K.ScheduleNamed(setup, "xfer-start", func(*des.Kernel) {
+		f.advance()
+		f.active[tr.ID] = tr
+		f.reshare()
+	})
+	return tr, nil
+}
+
+// streamCap returns the per-flow throughput ceiling implied by TCP over a
+// long fat pipe: striped flows get a higher ceiling. The constants model a
+// well-tuned host pair achieving ~0.5 Gb/s per stream on a 40 ms path.
+func (f *Fabric) streamCap(tr *Transfer) float64 {
+	rtt := f.T.RTT(tr.Src, tr.Dst)
+	if rtt <= 0 {
+		return math.Inf(1)
+	}
+	const windowBytes = 4 << 20 // 4 MiB effective window per stream
+	return float64(tr.Streams) * windowBytes / rtt
+}
+
+// reshare recomputes all flow rates (max-min fair progressive filling) and
+// re-arms the next-completion event.
+func (f *Fabric) reshare() {
+	// Reset link loads.
+	for _, l := range f.T.egress {
+		l.used = 0
+	}
+	for _, l := range f.T.ingress {
+		l.used = 0
+	}
+	if f.T.backbone != nil {
+		f.T.backbone.used = 0
+	}
+	unfixed := make([]*Transfer, 0, len(f.active))
+	for _, tr := range f.active {
+		tr.rate = 0
+		unfixed = append(unfixed, tr)
+	}
+	sort.Slice(unfixed, func(i, j int) bool { return unfixed[i].ID < unfixed[j].ID })
+
+	// Progressive filling: repeatedly find the bottleneck link (smallest
+	// fair share), fix its flows at that share, remove the link, repeat.
+	// Flows may also be fixed at their per-stream TCP ceiling.
+	remCap := make(map[*Link]float64)
+	flowsOn := make(map[*Link][]*Transfer)
+	for _, tr := range unfixed {
+		for _, l := range tr.links {
+			flowsOn[l] = append(flowsOn[l], tr)
+			remCap[l] = l.Bps
+		}
+	}
+	fixed := make(map[*Transfer]bool)
+	for len(fixed) < len(unfixed) {
+		// Fair share per link over its unfixed flows.
+		var bottleneck *Link
+		share := math.Inf(1)
+		for l, flows := range flowsOn {
+			n := 0
+			for _, tr := range flows {
+				if !fixed[tr] {
+					n++
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			s := remCap[l] / float64(n)
+			if s < share || (s == share && (bottleneck == nil || l.ID < bottleneck.ID)) {
+				share = s
+				bottleneck = l
+			}
+		}
+		if bottleneck == nil {
+			break
+		}
+		// Any unfixed flow whose TCP ceiling is below the share is capped
+		// there instead; handle those first (they free capacity).
+		capped := false
+		for _, tr := range unfixed {
+			if fixed[tr] {
+				continue
+			}
+			if c := f.streamCap(tr); c < share {
+				tr.rate = c
+				fixed[tr] = true
+				for _, l := range tr.links {
+					remCap[l] -= c
+				}
+				capped = true
+			}
+		}
+		if capped {
+			continue // shares changed; recompute
+		}
+		for _, tr := range flowsOn[bottleneck] {
+			if fixed[tr] {
+				continue
+			}
+			tr.rate = share
+			fixed[tr] = true
+			for _, l := range tr.links {
+				remCap[l] -= share
+			}
+		}
+	}
+	for _, tr := range unfixed {
+		for _, l := range tr.links {
+			l.used += tr.rate
+		}
+	}
+	// De-duplicate: each flow uses one egress and one ingress; "used" on
+	// each is the sum of its flows' rates — computed above by adding each
+	// flow to both links, which double-counts per link set but not per
+	// link. (Each link sees each of its flows once.)
+	f.rearm()
+}
+
+// advance progresses all active flows to the current instant.
+func (f *Fabric) advance() {
+	f.accumulate()
+	now := f.K.Now()
+	dt := float64(now - f.lastAdvance)
+	if dt <= 0 {
+		f.lastAdvance = now
+		return
+	}
+	for id, tr := range f.active {
+		tr.remaining -= tr.rate * dt
+		f.bytesMoved += tr.rate * dt
+		// Sub-byte residues are float rounding, not data: complete them.
+		if tr.remaining < 0.5 {
+			delete(f.active, id)
+			tr.EndedAt = now
+			f.completed++
+			if tr.done != nil {
+				tr.done(tr)
+			}
+		}
+	}
+	f.lastAdvance = now
+}
+
+// rearm schedules the wake event at the earliest projected completion.
+func (f *Fabric) rearm() {
+	if f.wake != nil {
+		f.K.Cancel(f.wake)
+		f.wake = nil
+	}
+	if len(f.active) == 0 {
+		return
+	}
+	soonest := des.Forever
+	for _, tr := range f.active {
+		if tr.rate <= 0 {
+			continue
+		}
+		eta := des.Time(tr.remaining / tr.rate)
+		if eta < 0 {
+			eta = 0
+		}
+		if f.K.Now()+eta < soonest {
+			soonest = f.K.Now() + eta
+		}
+	}
+	if soonest == des.Forever {
+		return
+	}
+	// Guarantee forward progress: a wake at (or rounding to) the current
+	// instant would integrate zero elapsed time and re-arm forever.
+	now := f.K.Now()
+	minStep := des.Time(1e-6)
+	if eps := now * 1e-9; eps > minStep {
+		minStep = eps
+	}
+	if soonest <= now+minStep {
+		soonest = now + minStep
+	}
+	f.wake = f.K.AtNamed(soonest, "xfer-complete", func(*des.Kernel) {
+		f.wake = nil
+		f.advance()
+		f.reshare()
+	})
+}

@@ -1,0 +1,285 @@
+package network
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tgsim/tgmod/internal/des"
+)
+
+// topo builds a 3-site star with generous 10 Gb/s access links and zero
+// latency (so transfer times are pure bandwidth effects in tests).
+func topo(t *testing.T) *Topology {
+	t.Helper()
+	tp := NewTopology()
+	for _, s := range []string{"a", "b", "c"} {
+		if err := tp.AddSite(s, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tp.SetRTT("a", "b", 0)
+	tp.SetRTT("a", "c", 0)
+	tp.SetRTT("b", "c", 0)
+	return tp
+}
+
+func TestAddSiteErrors(t *testing.T) {
+	tp := NewTopology()
+	if err := tp.AddSite("a", 0); err == nil {
+		t.Error("zero-bandwidth site accepted")
+	}
+	if err := tp.AddSite("a", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AddSite("a", 10); err == nil {
+		t.Error("duplicate site accepted")
+	}
+}
+
+func TestRTTDefaults(t *testing.T) {
+	tp := NewTopology()
+	if got := tp.RTT("x", "x"); got != 0 {
+		t.Errorf("intra-site RTT = %v, want 0", got)
+	}
+	if got := tp.RTT("x", "y"); got != 0.04 {
+		t.Errorf("default RTT = %v, want 0.04", got)
+	}
+	tp.SetRTT("x", "y", 0.1)
+	if tp.RTT("y", "x") != 0.1 {
+		t.Error("RTT not symmetric")
+	}
+}
+
+func TestSingleTransferSaturatesLink(t *testing.T) {
+	k := des.New()
+	f := NewFabric(k, topo(t))
+	// 10 Gb/s = 1.25e9 B/s. 1.25 GB should take 1 s at link speed, but the
+	// per-stream TCP cap is infinite at RTT 0, so the link is the limit.
+	var done *Transfer
+	_, err := f.Start("a", "b", 1_250_000_000, 4, func(tr *Transfer) { done = tr })
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if done == nil {
+		t.Fatal("transfer did not complete")
+	}
+	if math.Abs(float64(done.Duration())-1) > 1e-6 {
+		t.Errorf("duration = %v, want 1s", done.Duration())
+	}
+	if f.Completed() != 1 {
+		t.Errorf("Completed = %d, want 1", f.Completed())
+	}
+}
+
+func TestFairSharing(t *testing.T) {
+	k := des.New()
+	f := NewFabric(k, topo(t))
+	// Two equal flows leaving site a: each gets half the egress link, so
+	// each 1.25 GB transfer takes 2 s.
+	var ends []des.Time
+	for i := 0; i < 2; i++ {
+		if _, err := f.Start("a", "b", 1_250_000_000, 1, func(tr *Transfer) {
+			ends = append(ends, tr.EndedAt)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.Run()
+	if len(ends) != 2 {
+		t.Fatal("transfers did not complete")
+	}
+	for _, e := range ends {
+		if math.Abs(float64(e)-2) > 1e-6 {
+			t.Errorf("end = %v, want 2s under fair sharing", e)
+		}
+	}
+}
+
+func TestDistinctDestinationsShareEgressOnly(t *testing.T) {
+	k := des.New()
+	f := NewFabric(k, topo(t))
+	// a→b and a→c share a's egress; ingress links are uncontended. Each
+	// gets half of a's egress.
+	var ends []des.Time
+	for _, dst := range []string{"b", "c"} {
+		if _, err := f.Start("a", dst, 625_000_000, 1, func(tr *Transfer) {
+			ends = append(ends, tr.EndedAt)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.Run()
+	for _, e := range ends {
+		if math.Abs(float64(e)-1) > 1e-6 {
+			t.Errorf("end = %v, want 1s (half of 10 Gb/s each)", e)
+		}
+	}
+}
+
+func TestEarlyFinisherReleasesBandwidth(t *testing.T) {
+	k := des.New()
+	f := NewFabric(k, topo(t))
+	// Flow 1: 0.625 GB, flow 2: 1.25 GB, both a→b. Phase 1: both at
+	// 0.625 GB/s; flow 1 done at t=1 having moved 0.625. Flow 2 has 0.625
+	// left, now at full 1.25 GB/s → finishes at 1.5.
+	var end2 des.Time
+	if _, err := f.Start("a", "b", 625_000_000, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Start("a", "b", 1_250_000_000, 1, func(tr *Transfer) { end2 = tr.EndedAt }); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if math.Abs(float64(end2)-1.5) > 1e-6 {
+		t.Errorf("large flow end = %v, want 1.5s", end2)
+	}
+}
+
+func TestStreamCapLimits(t *testing.T) {
+	k := des.New()
+	tp := topo(t)
+	tp.SetRTT("a", "b", 0.04) // 1 stream cap = 4MiB/0.04 = 104.86 MB/s
+	f := NewFabric(k, tp)
+	var tr1 *Transfer
+	if _, err := f.Start("a", "b", 104_857_600, 1, func(tr *Transfer) { tr1 = tr }); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if tr1 == nil {
+		t.Fatal("no completion")
+	}
+	// 100 MiB at 104.86 MB/s ≈ 1 s (plus 3*RTT setup).
+	want := 104_857_600.0/(4*1024*1024/0.04) + 3*0.04
+	if math.Abs(float64(tr1.Duration())-want) > 0.01 {
+		t.Errorf("duration = %v, want ~%v (stream-capped)", tr1.Duration(), want)
+	}
+	// Striping with 8 streams should be ~8x faster (still under link cap).
+	k2 := des.New()
+	f2 := NewFabric(k2, tp)
+	var tr8 *Transfer
+	if _, err := f2.Start("a", "b", 104_857_600, 8, func(tr *Transfer) { tr8 = tr }); err != nil {
+		t.Fatal(err)
+	}
+	k2.Run()
+	if tr8.Duration() >= tr1.Duration() {
+		t.Errorf("striped duration %v not faster than single-stream %v", tr8.Duration(), tr1.Duration())
+	}
+}
+
+func TestIntraSiteTransfer(t *testing.T) {
+	k := des.New()
+	f := NewFabric(k, topo(t))
+	var done bool
+	if _, err := f.Start("a", "a", 2_000_000_000, 1, func(*Transfer) { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if !done {
+		t.Fatal("intra-site transfer did not complete")
+	}
+	if k.Now() != 1 { // 2 GB at 2 GB/s
+		t.Errorf("intra-site copy took %v, want 1s", k.Now())
+	}
+}
+
+func TestStartErrors(t *testing.T) {
+	k := des.New()
+	f := NewFabric(k, topo(t))
+	if _, err := f.Start("a", "b", 0, 1, nil); err == nil {
+		t.Error("zero-byte transfer accepted")
+	}
+	if _, err := f.Start("nowhere", "b", 1, 1, nil); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if _, err := f.Start("a", "nowhere", 1, 1, nil); err == nil {
+		t.Error("unknown destination accepted")
+	}
+}
+
+func TestLinkUtilization(t *testing.T) {
+	k := des.New()
+	f := NewFabric(k, topo(t))
+	if _, err := f.Start("a", "b", 1_250_000_000, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()       // busy 1 s at 100%
+	k.RunUntil(2) // idle 1 s
+	got := f.LinkUtilization("a")
+	if math.Abs(got-0.5) > 0.01 {
+		t.Errorf("egress utilization = %v, want 0.5", got)
+	}
+	if f.LinkUtilization("nope") != 0 {
+		t.Error("unknown site utilization should be 0")
+	}
+}
+
+func TestManyFlowsConservation(t *testing.T) {
+	k := des.New()
+	f := NewFabric(k, topo(t))
+	const n = 20
+	const each = 100_000_000
+	var completed int
+	for i := 0; i < n; i++ {
+		src, dst := "a", "b"
+		if i%3 == 1 {
+			src, dst = "b", "c"
+		} else if i%3 == 2 {
+			src, dst = "c", "a"
+		}
+		at := des.Time(i) * 0.1
+		k.At(at, func(*des.Kernel) {
+			if _, err := f.Start(src, dst, each, 2, func(*Transfer) { completed++ }); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	k.Run()
+	if completed != n {
+		t.Fatalf("completed %d of %d transfers", completed, n)
+	}
+	if math.Abs(f.BytesMoved()-n*each) > n {
+		t.Errorf("BytesMoved = %v, want %v", f.BytesMoved(), n*each)
+	}
+	if f.Active() != 0 {
+		t.Errorf("Active = %d at end, want 0", f.Active())
+	}
+}
+
+func TestBackboneBottleneck(t *testing.T) {
+	k := des.New()
+	tp := topo(t)
+	tp.SetBackbone(10) // backbone equals one access link
+	f := NewFabric(k, tp)
+	// Two flows on disjoint site pairs: a→b and b→c. Without a backbone
+	// they would each run at 10 Gb/s; sharing a 10 Gb/s core halves them.
+	var ends []des.Time
+	for _, pair := range [][2]string{{"a", "b"}, {"b", "c"}} {
+		if _, err := f.Start(pair[0], pair[1], 1_250_000_000, 1, func(tr *Transfer) {
+			ends = append(ends, tr.EndedAt)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.Run()
+	if len(ends) != 2 {
+		t.Fatal("transfers did not complete")
+	}
+	for _, e := range ends {
+		if math.Abs(float64(e)-2) > 1e-6 {
+			t.Errorf("end = %v, want 2s (backbone-shared)", e)
+		}
+	}
+	// Removing the backbone restores full speed.
+	tp.SetBackbone(0)
+	k2 := des.New()
+	f2 := NewFabric(k2, tp)
+	var end des.Time
+	if _, err := f2.Start("a", "b", 1_250_000_000, 1, func(tr *Transfer) { end = tr.EndedAt }); err != nil {
+		t.Fatal(err)
+	}
+	k2.Run()
+	if math.Abs(float64(end)-1) > 1e-6 {
+		t.Errorf("end = %v, want 1s without backbone", end)
+	}
+}

@@ -1,0 +1,294 @@
+// Package report renders experiment tables and figure series as aligned
+// text and CSV. Every table and figure the benchmark harness regenerates
+// flows through this package, so output formatting is uniform across the
+// repository.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of rows.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable returns an empty table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; cells beyond the column count are dropped, missing
+// cells become empty strings.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted values: each argument is rendered
+// with %v, floats with 3 significant digits.
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row = append(row, FormatFloat(v))
+		case float32:
+			row = append(row, FormatFloat(float64(v)))
+		default:
+			row = append(row, fmt.Sprintf("%v", v))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Cell returns the given cell ("" when out of range).
+func (t *Table) Cell(row, col int) string {
+	if row < 0 || row >= len(t.rows) || col < 0 || col >= len(t.Columns) {
+		return ""
+	}
+	return t.rows[row][col]
+}
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	rule := make([]string, len(t.Columns))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the table as RFC-4180-ish CSV (quotes only when needed).
+func (t *Table) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteString(`"` + strings.ReplaceAll(cell, `"`, `""`) + `"`)
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the text form.
+func (t *Table) String() string {
+	var b strings.Builder
+	if err := t.WriteText(&b); err != nil {
+		return ""
+	}
+	return b.String()
+}
+
+// FormatFloat renders a float compactly: integers without decimals, large
+// values with thousands grouping, small values with 3 significant digits.
+func FormatFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return GroupInt(int64(v))
+	}
+	if v >= 1000 || v <= -1000 {
+		return GroupInt(int64(v + 0.5))
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+// GroupInt renders an integer with comma thousands separators.
+func GroupInt(v int64) string {
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	s := fmt.Sprintf("%d", v)
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	out := strings.Join(parts, ",")
+	if neg {
+		return "-" + out
+	}
+	return out
+}
+
+// Percent renders a ratio as a percentage with one decimal.
+func Percent(frac float64) string { return fmt.Sprintf("%.1f%%", frac*100) }
+
+// Bytes renders a byte count in human units.
+func Bytes(b float64) string {
+	units := []string{"B", "KB", "MB", "GB", "TB", "PB"}
+	i := 0
+	for b >= 1000 && i < len(units)-1 {
+		b /= 1000
+		i++
+	}
+	return fmt.Sprintf("%.3g %s", b, units[i])
+}
+
+// Figure is a named series of (x, y) points — the text analogue of a plot.
+type Figure struct {
+	Title  string
+	XLabel string
+	Series []*Series
+}
+
+// Series is one line on a figure.
+type Series struct {
+	Name string
+	X    []string
+	Y    []float64
+}
+
+// NewFigure returns an empty figure.
+func NewFigure(title, xlabel string) *Figure {
+	return &Figure{Title: title, XLabel: xlabel}
+}
+
+// AddSeries appends a series and returns it for population.
+func (f *Figure) AddSeries(name string) *Series {
+	s := &Series{Name: name}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// Add appends one point.
+func (s *Series) Add(x string, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// WriteText renders the figure as a table: one row per x value, one column
+// per series, plus a coarse bar visualization of the first series.
+func (f *Figure) WriteText(w io.Writer) error {
+	cols := []string{f.XLabel}
+	for _, s := range f.Series {
+		cols = append(cols, s.Name)
+	}
+	t := NewTable(f.Title, cols...)
+	if len(f.Series) == 0 {
+		return t.WriteText(w)
+	}
+	maxY := 0.0
+	for _, s := range f.Series {
+		for _, y := range s.Y {
+			if y > maxY {
+				maxY = y
+			}
+		}
+	}
+	n := len(f.Series[0].X)
+	for i := 0; i < n; i++ {
+		row := []string{f.Series[0].X[i]}
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				row = append(row, FormatFloat(s.Y[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		t.AddRow(row...)
+	}
+	if err := t.WriteText(w); err != nil {
+		return err
+	}
+	// Bar sketch of the first series.
+	if maxY > 0 {
+		var b strings.Builder
+		for i, y := range f.Series[0].Y {
+			bar := int(y / maxY * 40)
+			fmt.Fprintf(&b, "%12s |%s\n", f.Series[0].X[i], strings.Repeat("#", bar))
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the text form.
+func (f *Figure) String() string {
+	var b strings.Builder
+	if err := f.WriteText(&b); err != nil {
+		return ""
+	}
+	return b.String()
+}
+
+// WriteCSV renders the figure as CSV: one row per x value, one column per
+// series, so plotting tools can regenerate the graphical form directly.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	cols := []string{f.XLabel}
+	for _, s := range f.Series {
+		cols = append(cols, s.Name)
+	}
+	t := NewTable("", cols...)
+	if len(f.Series) > 0 {
+		for i := range f.Series[0].X {
+			row := []string{f.Series[0].X[i]}
+			for _, s := range f.Series {
+				if i < len(s.Y) {
+					row = append(row, fmt.Sprintf("%g", s.Y[i]))
+				} else {
+					row = append(row, "")
+				}
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t.WriteCSV(w)
+}

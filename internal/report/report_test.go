@@ -1,0 +1,176 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableText(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "22222")
+	s := tb.String()
+	if !strings.Contains(s, "== Demo ==") {
+		t.Errorf("missing title: %q", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, rule, two data rows
+		t.Fatalf("lines = %d, want 5: %q", len(lines), s)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "col", "v")
+	tb.AddRow("longer-cell", "x")
+	s := tb.String()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	// header, rule, row — all padded to same width for column 1.
+	if len(lines) != 3 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if !strings.HasPrefix(lines[1], strings.Repeat("-", len("longer-cell"))) {
+		t.Errorf("rule not sized to widest cell: %q", lines[1])
+	}
+}
+
+func TestAddRowShapes(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("only-one")
+	tb.AddRow("x", "y", "dropped")
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows = %d", tb.Rows())
+	}
+	if tb.Cell(0, 1) != "" {
+		t.Error("missing cell not empty")
+	}
+	if tb.Cell(1, 1) != "y" {
+		t.Error("cell lookup wrong")
+	}
+	if tb.Cell(5, 0) != "" || tb.Cell(0, 9) != "" {
+		t.Error("out-of-range cell not empty")
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRowf("x", 1234567.0, 0.123456)
+	if tb.Cell(0, 1) != "1,234,567" {
+		t.Errorf("float formatting = %q", tb.Cell(0, 1))
+	}
+	if tb.Cell(0, 2) != "0.123" {
+		t.Errorf("small float = %q", tb.Cell(0, 2))
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(`quote"inside`, "with,comma")
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"quote\"\"inside\",\"with,comma\"\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		42:      "42",
+		1234:    "1,234",
+		1234567: "1,234,567",
+		0.5:     "0.5",
+		3.14159: "3.14",
+		-1200:   "-1,200",
+		1234.5:  "1,235",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestGroupInt(t *testing.T) {
+	cases := map[int64]string{
+		0: "0", 999: "999", 1000: "1,000", 1234567890: "1,234,567,890",
+		-4321: "-4,321",
+	}
+	for in, want := range cases {
+		if got := GroupInt(in); got != want {
+			t.Errorf("GroupInt(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPercentAndBytes(t *testing.T) {
+	if got := Percent(0.123); got != "12.3%" {
+		t.Errorf("Percent = %q", got)
+	}
+	cases := map[float64]string{
+		512:    "512 B",
+		2048:   "2.05 KB",
+		3.2e9:  "3.2 GB",
+		1.5e15: "1.5 PB",
+	}
+	for in, want := range cases {
+		if got := Bytes(in); got != want {
+			t.Errorf("Bytes(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFigure(t *testing.T) {
+	f := NewFigure("Growth", "quarter")
+	s1 := f.AddSeries("users")
+	s1.Add("Q1", 10)
+	s1.Add("Q2", 40)
+	s2 := f.AddSeries("jobs")
+	s2.Add("Q1", 100)
+	s2.Add("Q2", 400)
+	out := f.String()
+	if !strings.Contains(out, "Growth") || !strings.Contains(out, "users") {
+		t.Errorf("figure missing pieces: %q", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Errorf("figure missing bar sketch: %q", out)
+	}
+	// Mismatched series lengths are tolerated.
+	s2.Add("Q3", 1)
+	_ = f.String()
+}
+
+func TestEmptyFigure(t *testing.T) {
+	f := NewFigure("Empty", "x")
+	if f.String() == "" {
+		t.Error("empty figure should still render a header")
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	f := NewFigure("g", "x")
+	s1 := f.AddSeries("a")
+	s1.Add("p", 1.5)
+	s1.Add("q", 2)
+	s2 := f.AddSeries("b")
+	s2.Add("p", 3)
+	var b strings.Builder
+	if err := f.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "x,a,b\np,1.5,3\nq,2,\n"
+	if b.String() != want {
+		t.Errorf("figure CSV = %q, want %q", b.String(), want)
+	}
+	// Empty figure still emits a header.
+	empty := NewFigure("e", "x")
+	b.Reset()
+	if err := empty.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "x\n" {
+		t.Errorf("empty figure CSV = %q", b.String())
+	}
+}

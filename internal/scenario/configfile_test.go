@@ -1,0 +1,126 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/tgsim/tgmod/internal/metasched"
+	"github.com/tgsim/tgmod/internal/sched"
+)
+
+func TestConfigFileRoundTrip(t *testing.T) {
+	orig := DefaultConfig(42)
+	orig.MaintenanceEvery = 0
+	cf, err := FromConfig(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cf.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := DecodeConfigFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := parsed.ToConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Seed != orig.Seed || back.Horizon != orig.Horizon ||
+		back.Policy != orig.Policy || back.BrokerPolicy != orig.BrokerPolicy {
+		t.Errorf("scalar fields lost: %+v vs %+v", back.Seed, orig.Seed)
+	}
+	if len(back.Generators) != len(orig.Generators) {
+		t.Fatalf("generators: %d vs %d", len(back.Generators), len(orig.Generators))
+	}
+	if len(back.Gateways) != len(orig.Gateways) {
+		t.Fatalf("gateways: %d vs %d", len(back.Gateways), len(orig.Gateways))
+	}
+	// Generator types preserved in order.
+	for i := range back.Generators {
+		if back.Generators[i].Name() != orig.Generators[i].Name() {
+			t.Errorf("generator %d: %s vs %s", i,
+				back.Generators[i].Name(), orig.Generators[i].Name())
+		}
+	}
+}
+
+func TestConfigFileRunsIdenticallyToCode(t *testing.T) {
+	code := smallConfig(5)
+	cf, err := FromConfig(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cf.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := DecodeConfigFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := parsed.ToConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(fromFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Central.TotalNUs() != b.Central.TotalNUs() ||
+		len(a.Central.Jobs()) != len(b.Central.Jobs()) {
+		t.Errorf("file round trip changed the simulation: %v/%d vs %v/%d",
+			a.Central.TotalNUs(), len(a.Central.Jobs()),
+			b.Central.TotalNUs(), len(b.Central.Jobs()))
+	}
+}
+
+func TestDecodeConfigFileErrors(t *testing.T) {
+	if _, err := DecodeConfigFile(strings.NewReader("{bad")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := DecodeConfigFile(strings.NewReader(`{"unknown_field": 1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	cf := &ConfigFile{Policy: "martian"}
+	if _, err := cf.ToConfig(); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	cf = &ConfigFile{Policy: "easy", BrokerPolicy: "martian"}
+	if _, err := cf.ToConfig(); err == nil {
+		t.Error("unknown broker policy accepted")
+	}
+	cf = &ConfigFile{Policy: "easy", BrokerPolicy: "random",
+		Generators: []GeneratorSpec{{Type: "martian"}}}
+	if _, err := cf.ToConfig(); err == nil {
+		t.Error("unknown generator type accepted")
+	}
+}
+
+func TestParsePolicies(t *testing.T) {
+	for name, want := range map[string]sched.Policy{
+		"fcfs": sched.FCFS, "easy": sched.EASY, "": sched.EASY,
+		"conservative": sched.Conservative, "fairshare": sched.FairShare,
+	} {
+		got, err := ParsePolicy(name)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v,%v", name, got, err)
+		}
+	}
+	for name, want := range map[string]metasched.SelectPolicy{
+		"random": metasched.Random, "least-loaded": metasched.LeastLoaded,
+		"best-estimated": metasched.BestEstimated, "": metasched.BestEstimated,
+		"data-aware": metasched.DataAware,
+	} {
+		got, err := ParseBrokerPolicy(name)
+		if err != nil || got != want {
+			t.Errorf("ParseBrokerPolicy(%q) = %v,%v", name, got, err)
+		}
+	}
+}

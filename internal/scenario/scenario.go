@@ -1,0 +1,434 @@
+// Package scenario assembles complete simulations: the standard nine-site
+// federation, the network, schedulers, accounting pipeline, allocations,
+// gateways, metascheduler, and the workload generators, wired together and
+// run to a horizon. Experiments and examples configure a Config, call Run,
+// and analyze the returned accounting database with the core package.
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/tgsim/tgmod/internal/accounting"
+	"github.com/tgsim/tgmod/internal/alloc"
+	"github.com/tgsim/tgmod/internal/des"
+	"github.com/tgsim/tgmod/internal/gateway"
+	"github.com/tgsim/tgmod/internal/grid"
+	"github.com/tgsim/tgmod/internal/job"
+	"github.com/tgsim/tgmod/internal/metasched"
+	"github.com/tgsim/tgmod/internal/network"
+	"github.com/tgsim/tgmod/internal/sched"
+	"github.com/tgsim/tgmod/internal/simrand"
+	"github.com/tgsim/tgmod/internal/storage"
+	"github.com/tgsim/tgmod/internal/users"
+	"github.com/tgsim/tgmod/internal/workload"
+)
+
+// TG9 builds the standard simulated federation: nine sites with
+// heterogeneous machines spanning three orders of magnitude in size, one
+// very large capability system, viz partitions at two sites, and
+// urgent-capable systems at three. Names are descriptive, not historic.
+func TG9() (*grid.Federation, error) {
+	mk := func(id, site string, nodes, cpn int, gf, nu float64, viz int, urgent bool) *grid.Machine {
+		return &grid.Machine{
+			ID: id, Site: site, Nodes: nodes, CoresPerNode: cpn,
+			GFlopsPerCore: gf, NUPerCoreHour: nu, VizNodes: viz, UrgentCapable: urgent,
+		}
+	}
+	sites := []*grid.Site{
+		{ID: "ridge", WANGbps: 30, ArchivePB: 10, Machines: []*grid.Machine{
+			mk("ridge-xt", "ridge", 8256, 12, 10.4, 2.9, 0, false), // ~99k cores, capability
+		}},
+		{ID: "mesa", WANGbps: 30, ArchivePB: 6, Machines: []*grid.Machine{
+			mk("mesa-ranger", "mesa", 3936, 16, 2.3, 1.9, 0, true), // ~63k cores
+		}},
+		{ID: "lakeside", WANGbps: 20, ArchivePB: 4, Machines: []*grid.Machine{
+			mk("lakeside-abe", "lakeside", 1200, 8, 9.3, 2.2, 0, true),
+			mk("lakeside-viz", "lakeside", 96, 16, 2.2, 1.0, 64, false),
+		}},
+		{ID: "harbor", WANGbps: 20, ArchivePB: 25, Machines: []*grid.Machine{
+			mk("harbor-db", "harbor", 512, 8, 2.8, 1.2, 0, false), // data-intensive system
+		}},
+		{ID: "prairie", WANGbps: 10, ArchivePB: 3, Machines: []*grid.Machine{
+			mk("prairie-cluster", "prairie", 768, 8, 3.7, 1.4, 0, false),
+		}},
+		{ID: "foothill", WANGbps: 10, ArchivePB: 2, Machines: []*grid.Machine{
+			mk("foothill-ia", "foothill", 640, 4, 3.1, 1.1, 32, false),
+		}},
+		{ID: "bayou", WANGbps: 10, ArchivePB: 2, Machines: []*grid.Machine{
+			mk("bayou-qb", "bayou", 668, 8, 4.8, 1.6, 0, true),
+		}},
+		{ID: "summit", WANGbps: 10, ArchivePB: 1, Machines: []*grid.Machine{
+			mk("summit-pople", "summit", 384, 8, 4.4, 1.3, 0, false),
+		}},
+		{ID: "campus", WANGbps: 10, ArchivePB: 1, Machines: []*grid.Machine{
+			mk("campus-condor", "campus", 400, 2, 1.9, 0.6, 0, false), // HTC farm
+		}},
+	}
+	return grid.NewFederation("tg9", sites...)
+}
+
+// GatewayConfig describes one science gateway to instantiate.
+type GatewayConfig struct {
+	ID           string
+	Machine      string // target machine for submissions
+	ScienceField string
+	AttrCoverage float64 // probability of per-request end-user attributes
+}
+
+// Config parameterizes a full simulation.
+type Config struct {
+	Seed    uint64
+	Horizon des.Time
+	// DrainTime: extra time after the horizon for queues to empty.
+	DrainTime des.Time
+	// Policy is the batch policy at every site.
+	Policy sched.Policy
+	// BrokerPolicy is the metascheduler's selection policy.
+	BrokerPolicy metasched.SelectPolicy
+	// BrokerTagCoverage is the probability broker jobs carry their tag.
+	BrokerTagCoverage float64
+	// Population sizing.
+	Users users.Config
+	// AwardNUs is the mean allocation size (lognormally spread).
+	AwardNUs float64
+	// Gateways to instantiate.
+	Gateways []GatewayConfig
+	// Generators to run (constructed by the caller; the scenario injects
+	// the Env).
+	Generators []workload.Generator
+	// ReportInterval is how often site ledgers flush to the central DB.
+	ReportInterval des.Time
+	// MaintenanceEvery, when positive, schedules a recurring maintenance
+	// outage of MaintenanceLength on every machine (staggered by site so
+	// the federation never goes fully dark), modeling the preventive-
+	// maintenance windows production systems took.
+	MaintenanceEvery  des.Time
+	MaintenanceLength des.Time
+	// Federation override; nil means TG9.
+	Federation *grid.Federation
+}
+
+// DefaultConfig returns a one-quarter simulation with the standard
+// workload mix at moderate load.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:              seed,
+		Horizon:           90 * des.Day,
+		DrainTime:         14 * des.Day,
+		Policy:            sched.EASY,
+		BrokerPolicy:      metasched.BestEstimated,
+		BrokerTagCoverage: 1.0,
+		Users:             users.DefaultConfig(),
+		AwardNUs:          2e6,
+		Gateways: []GatewayConfig{
+			{ID: "nanohub", Machine: "campus-condor", ScienceField: "nanoscience", AttrCoverage: 0.9},
+			{ID: "cipres", Machine: "prairie-cluster", ScienceField: "molecular-biosciences", AttrCoverage: 0.9},
+			{ID: "climate-portal", Machine: "mesa-ranger", ScienceField: "atmospheric-sciences", AttrCoverage: 0.9},
+		},
+		Generators:     DefaultGenerators(),
+		ReportInterval: des.Day,
+	}
+}
+
+// DefaultGenerators returns the standard workload mix. Rates are tuned so
+// the federation runs at productive-but-contended load under EASY.
+func DefaultGenerators() []workload.Generator {
+	return []workload.Generator{
+		// CapabilityFrac is calibrated so hero jobs offer ~60% of the
+		// largest machine's capacity: 700/day × 0.002 = 1.4 heroes/day at
+		// a ~16h mean on ~64k mean cores ≈ 1.5M core-hours/day against
+		// ridge-xt's 2.4M. Higher fractions make the hero queue unstable
+		// over a quarter (offered > capacity), which is an experiment, not
+		// a default.
+		&workload.BatchGen{JobsPerDay: 700, CapabilityFrac: 0.002, MedianRuntime: 3 * 3600},
+		&workload.EnsembleGen{CampaignsPerDay: 12, JobsPerCampaign: 30, TagCoverage: 0.5, MedianRuntime: 1800},
+		&workload.WorkflowGen{CampaignsPerDay: 10, TaggedFrac: 0.6, Workers: 8, MedianTask: 1200},
+		&workload.GatewayGen{Gateway: "nanohub", RequestsPerDay: 400, EndUsers: 3000, MedianRuntime: 600},
+		&workload.GatewayGen{Gateway: "cipres", RequestsPerDay: 150, EndUsers: 1200, MedianRuntime: 1500},
+		&workload.GatewayGen{Gateway: "climate-portal", RequestsPerDay: 60, EndUsers: 400, MedianRuntime: 3600},
+		&workload.UrgentGen{EventsPerWeek: 4, MedianRuntime: 2 * 3600},
+		&workload.InteractiveGen{SessionsPerDay: 50, MedianSession: 1800},
+		&workload.DataCentricGen{JobsPerDay: 40, MedianInputGB: 40, MedianRuntime: 2 * 3600},
+		&workload.MetaschedGen{JobsPerDay: 80, CoAllocFrac: 0.05, MedianRuntime: 2 * 3600},
+	}
+}
+
+// Result is everything a finished simulation exposes for analysis.
+type Result struct {
+	Config     Config
+	Kernel     *des.Kernel
+	Federation *grid.Federation
+	Central    *accounting.Central
+	Bank       *alloc.Bank
+	Schedulers map[string]*sched.Scheduler
+	Broker     *metasched.Broker
+	Gateways   map[string]*gateway.Gateway
+	Fabric     *network.Fabric
+	Archives   map[string]*storage.Archive
+	Population *users.Population
+	// Finished counts jobs that reached a terminal state.
+	Finished int
+	// LargestCores is the batch-core count of the biggest machine, for
+	// classifier configuration.
+	LargestCores int
+}
+
+// Run builds and executes the simulation described by cfg.
+func Run(cfg Config) (*Result, error) {
+	fed := cfg.Federation
+	if fed == nil {
+		var err error
+		fed, err = TG9()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("scenario: non-positive horizon")
+	}
+	k := des.New()
+
+	// Network and storage.
+	topo := network.NewTopology()
+	for _, s := range fed.Sites {
+		if err := topo.AddSite(s.ID, s.WANGbps); err != nil {
+			return nil, err
+		}
+	}
+	fabric := network.NewFabric(k, topo)
+	stager := storage.NewStager(k, fabric)
+	archives := make(map[string]*storage.Archive)
+	for _, s := range fed.Sites {
+		if s.ArchivePB > 0 {
+			archives[s.ID] = storage.NewArchive(s.ID, s.ArchivePB)
+		}
+	}
+
+	// Population and allocations.
+	pop, err := users.Synthesize(cfg.Users, simrand.Derive(cfg.Seed, "population"))
+	if err != nil {
+		return nil, err
+	}
+	bank := alloc.NewBank()
+	awardRNG := simrand.Derive(cfg.Seed, "awards")
+	for _, proj := range pop.Projects {
+		pi, _ := pop.PI(proj)
+		field := ""
+		if pi != nil {
+			field = pi.Field
+		}
+		nus := awardRNG.LogNormal(logf(cfg.AwardNUs), 1.0)
+		piName := "unknown"
+		if pi != nil {
+			piName = pi.Name
+		}
+		if _, err := bank.Award(proj, piName, field, nus, 0); err != nil {
+			return nil, err
+		}
+		for _, u := range pop.Team(proj) {
+			if err := bank.AddUser(proj, u.Name); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Accounting pipeline.
+	central := accounting.NewCentral()
+	ledgers := make(map[string]*accounting.Ledger)
+	for _, s := range fed.Sites {
+		ledgers[s.ID] = accounting.NewLedger(s.ID)
+	}
+	stager.OnTransfer = func(tr *network.Transfer) {
+		l := ledgers[tr.Src]
+		if l == nil {
+			return
+		}
+		l.AddTransfer(accounting.TransferRecord{
+			TransferID: tr.ID, Src: tr.Src, Dst: tr.Dst, Bytes: tr.Bytes,
+			Start: float64(tr.StartedAt), End: float64(tr.EndedAt),
+			User: tr.User, Project: tr.Project, JobID: tr.JobID,
+		})
+	}
+
+	// Schedulers + event wiring.
+	tracker := workload.NewTracker()
+	scheds := make(map[string]*sched.Scheduler)
+	finished := 0
+	largest := 0
+	archiveRNG := simrand.Derive(cfg.Seed, "archive")
+	for _, m := range fed.Machines() {
+		m := m
+		s := sched.New(k, m, cfg.Policy)
+		scheds[m.ID] = s
+		if m.BatchCores() > largest {
+			largest = m.BatchCores()
+		}
+		s.Subscribe(func(e sched.Event) {
+			switch e.Kind {
+			case sched.EventFinished:
+				finished++
+				rec := accounting.RecordOf(e.Job, m)
+				ledgers[m.Site].AddJob(rec)
+				// Charge the allocation for actual usage; overdraft errors
+				// are operational noise, not simulation failures.
+				_ = bank.Charge(e.Job.Project, rec.NUs)
+				// Data-centric jobs archive their outputs.
+				if e.Job.OutputBytes > 0 && e.Job.State == job.StateCompleted {
+					if a := archives[m.Site]; a != nil {
+						name := fmt.Sprintf("out-%d-%d", e.Job.ID, archiveRNG.Intn(1<<30))
+						_ = a.Store(&storage.File{
+							Name: name, Bytes: e.Job.OutputBytes,
+							Owner: e.Job.User, Project: e.Job.Project,
+							Created: k.Now(), Replicas: []string{m.Site},
+						})
+					}
+				}
+				tracker.JobFinished(e.Job)
+			case sched.EventRejected:
+				tracker.JobFinished(e.Job)
+			}
+		})
+	}
+
+	// Recurring preventive maintenance, staggered per machine.
+	if cfg.MaintenanceEvery > 0 && cfg.MaintenanceLength > 0 {
+		offset := des.Time(0)
+		for _, m := range fed.Machines() {
+			s := scheds[m.ID]
+			stagger := offset
+			offset += cfg.MaintenanceEvery / des.Time(len(fed.Machines()))
+			// Announce each window one period ahead so the machine drains
+			// instead of preempting.
+			var announce func(start des.Time)
+			announce = func(start des.Time) {
+				if start >= cfg.Horizon {
+					return
+				}
+				if err := s.ScheduleOutage(start, start+cfg.MaintenanceLength); err == nil {
+					k.At(start+cfg.MaintenanceLength, func(*des.Kernel) {
+						announce(start + cfg.MaintenanceEvery)
+					})
+				}
+			}
+			announce(cfg.MaintenanceEvery + stagger)
+		}
+	}
+
+	// Metascheduler.
+	broker := metasched.New(k, cfg.BrokerPolicy, simrand.Derive(cfg.Seed, "broker"), schedList(scheds))
+	broker.TagCoverage = cfg.BrokerTagCoverage
+	broker.Stage = func(from, to string, bytes int64) float64 {
+		if from == to {
+			return 0
+		}
+		// Crude planning estimate: site pair at 10 Gb/s effective.
+		return float64(bytes) / (10e9 / 8)
+	}
+
+	// Gateways.
+	gateways := make(map[string]*gateway.Gateway)
+	for _, gc := range cfg.Gateways {
+		target, ok := scheds[gc.Machine]
+		if !ok {
+			return nil, fmt.Errorf("scenario: gateway %s targets unknown machine %s", gc.ID, gc.Machine)
+		}
+		site := target.M.Site
+		project := "TG-GW-" + gc.ID
+		account := gc.ID + "-community"
+		if _, err := bank.Award(project, account, gc.ScienceField, cfg.AwardNUs*5, 0); err != nil {
+			return nil, err
+		}
+		gw, err := gateway.New(gc.ID, account, project, gc.ScienceField, gc.AttrCoverage,
+			k, simrand.Derive(cfg.Seed, "gateway-"+gc.ID), submitterFor(target), ledgers[site])
+		if err != nil {
+			return nil, err
+		}
+		gateways[gc.ID] = gw
+	}
+
+	// Periodic accounting reporting over the simulated wire.
+	flushAll := func() error {
+		for _, s := range fed.Sites {
+			if p := ledgers[s.ID].Flush(k.Now()); p != nil {
+				data, err := p.Encode()
+				if err != nil {
+					return err
+				}
+				if err := central.IngestWire(data); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if cfg.ReportInterval > 0 {
+		k.Every(cfg.ReportInterval, func(*des.Kernel) {
+			if err := flushAll(); err != nil {
+				panic("scenario: accounting flush: " + err.Error())
+			}
+		})
+	}
+
+	// Data homes: each project's reference data lives at a deterministic
+	// random archive site.
+	dataHomes := make(map[string]string)
+	var archiveSites []string
+	for _, s := range fed.Sites {
+		if s.ArchivePB > 0 {
+			archiveSites = append(archiveSites, s.ID)
+		}
+	}
+	homeRNG := simrand.Derive(cfg.Seed, "data-homes")
+	for _, proj := range pop.Projects {
+		dataHomes[proj] = archiveSites[homeRNG.Intn(len(archiveSites))]
+	}
+	broker.DataHome = dataHomes
+
+	// Workload.
+	env := &workload.Env{
+		K: k, Seed: cfg.Seed, Horizon: cfg.Horizon,
+		Pop: pop, Sched: scheds, Broker: broker, Gateways: gateways,
+		Stager: stager, Archives: archives, DataHomeSite: dataHomes,
+		Tracker: tracker,
+	}
+	for _, g := range cfg.Generators {
+		g.Start(env)
+	}
+
+	// Run to the horizon plus drain, then final flush.
+	k.RunUntil(cfg.Horizon + cfg.DrainTime)
+	if err := flushAll(); err != nil {
+		return nil, err
+	}
+
+	return &Result{
+		Config: cfg, Kernel: k, Federation: fed, Central: central, Bank: bank,
+		Schedulers: scheds, Broker: broker, Gateways: gateways, Fabric: fabric,
+		Archives: archives, Population: pop, Finished: finished,
+		LargestCores: largest,
+	}, nil
+}
+
+// schedList returns schedulers sorted by machine ID.
+func schedList(m map[string]*sched.Scheduler) []*sched.Scheduler {
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]*sched.Scheduler, len(ids))
+	for i, id := range ids {
+		out[i] = m[id]
+	}
+	return out
+}
+
+type schedSubmitter struct{ s *sched.Scheduler }
+
+func (ss schedSubmitter) SubmitJob(j *job.Job) { ss.s.Submit(j) }
+
+func submitterFor(s *sched.Scheduler) gateway.Submitter { return schedSubmitter{s} }
+
+func logf(v float64) float64 { return math.Log(v) }

@@ -1,0 +1,156 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/tgsim/tgmod/internal/des"
+	"github.com/tgsim/tgmod/internal/simrand"
+)
+
+func TestProfileBasics(t *testing.T) {
+	p := newProfile(0, 100)
+	if got := p.freeAt(0); got != 100 {
+		t.Errorf("freeAt(0) = %d, want 100", got)
+	}
+	if got := p.freeAt(1e9); got != 100 {
+		t.Errorf("freeAt(inf) = %d, want 100", got)
+	}
+	p.subtract(10, 20, 40)
+	if got := p.freeAt(9); got != 100 {
+		t.Errorf("freeAt(9) = %d, want 100", got)
+	}
+	if got := p.freeAt(10); got != 60 {
+		t.Errorf("freeAt(10) = %d, want 60", got)
+	}
+	if got := p.freeAt(19.5); got != 60 {
+		t.Errorf("freeAt(19.5) = %d, want 60", got)
+	}
+	if got := p.freeAt(20); got != 100 {
+		t.Errorf("freeAt(20) = %d, want 100", got)
+	}
+}
+
+func TestProfileMinFree(t *testing.T) {
+	p := newProfile(0, 100)
+	p.subtract(10, 20, 40) // 60 free in [10,20)
+	p.subtract(15, 30, 30) // 30 free in [15,20), 70 in [20,30)
+	cases := []struct {
+		lo, hi des.Time
+		want   int
+	}{
+		{0, 10, 100},
+		{0, 12, 60},
+		{12, 18, 30},
+		{20, 30, 70},
+		{25, 100, 70},
+		{30, 40, 100},
+		{0, 100, 30},
+	}
+	for _, c := range cases {
+		if got := p.minFree(c.lo, c.hi); got != c.want {
+			t.Errorf("minFree(%v,%v) = %d, want %d", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestProfileSubtractForever(t *testing.T) {
+	p := newProfile(0, 10)
+	p.subtract(5, des.Forever, 4)
+	if got := p.freeAt(1e12); got != 6 {
+		t.Errorf("freeAt far future = %d, want 6", got)
+	}
+	if got := p.freeAt(0); got != 10 {
+		t.Errorf("freeAt(0) = %d, want 10", got)
+	}
+}
+
+func TestProfileOvercommitPanics(t *testing.T) {
+	p := newProfile(0, 10)
+	defer func() {
+		if recover() == nil {
+			t.Error("overcommit did not panic")
+		}
+	}()
+	p.subtract(0, 10, 11)
+}
+
+func TestEarliestFit(t *testing.T) {
+	p := newProfile(0, 100)
+	p.subtract(0, 50, 90) // only 10 free until t=50
+	at, ok := p.earliestFit(0, 10, 100)
+	if !ok || at != 0 {
+		t.Errorf("fit 10 cores: got %v,%v want 0,true", at, ok)
+	}
+	at, ok = p.earliestFit(0, 50, 100)
+	if !ok || at != 50 {
+		t.Errorf("fit 50 cores: got %v,%v want 50,true", at, ok)
+	}
+	// More cores than capacity never fits.
+	if _, ok = p.earliestFit(0, 200, 1); ok {
+		t.Error("fit beyond capacity reported success")
+	}
+	// From parameter respected.
+	at, ok = p.earliestFit(70, 100, 5)
+	if !ok || at != 70 {
+		t.Errorf("fit from=70: got %v,%v want 70,true", at, ok)
+	}
+}
+
+func TestEarliestFitBetweenHoles(t *testing.T) {
+	p := newProfile(0, 10)
+	p.subtract(5, 10, 10)  // blocked in [5,10)
+	p.subtract(20, 25, 10) // blocked in [20,25)
+	// A 6-long job fits at 10 (gap [10,20) is 10 long).
+	at, ok := p.earliestFit(0, 10, 6)
+	if !ok || at != 10 {
+		t.Errorf("gap fit: got %v,%v want 10,true", at, ok)
+	}
+	// A 4-long job fits at 0.
+	at, ok = p.earliestFit(0, 10, 4)
+	if !ok || at != 0 {
+		t.Errorf("head fit: got %v,%v want 0,true", at, ok)
+	}
+	// An 11-long job must wait until 25.
+	at, ok = p.earliestFit(0, 10, 11)
+	if !ok || at != 25 {
+		t.Errorf("tail fit: got %v,%v want 25,true", at, ok)
+	}
+}
+
+// TestEarliestFitProperty: the returned slot actually has enough capacity,
+// and no earlier step point does.
+func TestEarliestFitProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := simrand.New(seed)
+		capacity := 16 + r.Intn(64)
+		p := newProfile(0, capacity)
+		for i := 0; i < 20; i++ {
+			start := des.Time(r.Intn(200))
+			end := start + des.Time(1+r.Intn(50))
+			cores := 1 + r.Intn(capacity/4)
+			if p.minFree(start, end) >= cores {
+				p.subtract(start, end, cores)
+			}
+		}
+		cores := 1 + r.Intn(capacity)
+		dur := des.Time(1 + r.Intn(60))
+		at, ok := p.earliestFit(0, cores, dur)
+		if !ok {
+			return cores > capacity
+		}
+		if p.minFree(at, at+dur) < cores {
+			return false // reported slot does not fit
+		}
+		// No earlier candidate (origin or step) fits.
+		for _, pt := range p.points {
+			if pt.t < at && p.minFree(pt.t, pt.t+dur) >= cores {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

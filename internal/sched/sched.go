@@ -1,0 +1,822 @@
+// Package sched implements the local resource managers that run each
+// machine's batch system: FCFS, EASY backfill, and conservative backfill
+// policies; a separate interactive/visualization partition; preemptive
+// on-demand (urgent) computing; and advance reservations used by the
+// metascheduler for cross-site co-allocation.
+//
+// All policies honor two hard guarantees that make planning sound:
+// jobs are killed at their requested walltime, so a running job's cores are
+// certainly free by start+walltime; and no policy starts a job whose
+// (cores, walltime) rectangle would overlap a committed reservation.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/tgsim/tgmod/internal/des"
+	"github.com/tgsim/tgmod/internal/grid"
+	"github.com/tgsim/tgmod/internal/job"
+)
+
+// Policy selects the batch scheduling algorithm.
+type Policy int
+
+// Batch scheduling policies.
+const (
+	FCFS         Policy = iota // strict first-come first-served
+	EASY                       // aggressive backfill with one reservation (head job)
+	Conservative               // backfill with reservations for every queued job
+	FairShare                  // EASY ordered by decayed per-user usage
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case FCFS:
+		return "fcfs"
+	case EASY:
+		return "easy"
+	case Conservative:
+		return "conservative"
+	case FairShare:
+		return "fairshare"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Event is a job lifecycle notification delivered to listeners.
+type Event struct {
+	Kind EventKind
+	Job  *job.Job
+}
+
+// EventKind enumerates job lifecycle notifications.
+type EventKind int
+
+// Lifecycle notification kinds.
+const (
+	EventQueued EventKind = iota
+	EventStarted
+	EventFinished  // completed or killed at walltime
+	EventPreempted // urgent preemption; job was requeued
+	EventRejected  // impossible request (exceeds machine capacity)
+)
+
+// String returns the event-kind name.
+func (k EventKind) String() string {
+	switch k {
+	case EventQueued:
+		return "queued"
+	case EventStarted:
+		return "started"
+	case EventFinished:
+		return "finished"
+	case EventPreempted:
+		return "preempted"
+	case EventRejected:
+		return "rejected"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Listener receives job lifecycle events.
+type Listener func(Event)
+
+// outage is a maintenance window: no batch work may execute during it.
+type outage struct {
+	start, end des.Time
+}
+
+// reservation is a committed block of cores over a future interval.
+type reservation struct {
+	id    string
+	cores int
+	start des.Time
+	end   des.Time
+	// claim, if non-nil, is started inside the reservation at its start.
+	claim *job.Job
+}
+
+// running tracks an executing job.
+type running struct {
+	j         *job.Job
+	endTimer  *des.Timer
+	endsBy    des.Time // guaranteed end: start + requested walltime
+	fromResID string   // non-empty if the job runs inside a reservation
+}
+
+// Scheduler is the batch system of one machine.
+type Scheduler struct {
+	K      *des.Kernel
+	M      *grid.Machine
+	policy Policy
+	// CheckpointRestart, when true, lets preempted jobs resume from a
+	// checkpoint: only work since the last checkpoint interval boundary is
+	// lost, instead of the whole run. Production urgent-computing
+	// deployments differed exactly in whether victims checkpointed.
+	CheckpointRestart bool
+	// CheckpointInterval is the checkpoint cadence (default 15 min).
+	CheckpointInterval des.Time
+	// FairShareHalfLife controls usage decay under the FairShare policy
+	// (default 7 days): a user's past consumption halves every half-life,
+	// so a usage burst stops penalizing its owner after a few periods.
+	FairShareHalfLife des.Time
+	// fsUsage tracks decayed per-user core-seconds for FairShare ordering.
+	fsUsage map[string]*fsEntry
+
+	freeBatch int
+	freeViz   int
+
+	queue    []*job.Job // normal-QOS batch queue, FIFO order
+	vizQueue []*job.Job // interactive partition queue
+	running  map[job.ID]*running
+	resvs    []*reservation
+	outages  []*outage
+
+	listeners []Listener
+
+	// Statistics.
+	busyIntegral float64  // core-seconds of batch occupancy
+	lastAccum    des.Time // last time busyIntegral was updated
+	started      uint64
+	finished     uint64
+	preemptions  uint64
+	// reschedule guard: a listener reacting to a lifecycle event may submit
+	// more work synchronously; instead of recursing, the outer reschedule
+	// loops again.
+	rescheduling   bool
+	needReschedule bool
+}
+
+// fsEntry is one user's decayed usage accumulator.
+type fsEntry struct {
+	usage float64
+	at    des.Time
+}
+
+// New returns a scheduler for machine m driven by kernel k.
+func New(k *des.Kernel, m *grid.Machine, policy Policy) *Scheduler {
+	return &Scheduler{
+		K:         k,
+		M:         m,
+		policy:    policy,
+		freeBatch: m.BatchCores(),
+		freeViz:   m.VizCores(),
+		running:   make(map[job.ID]*running),
+		fsUsage:   make(map[string]*fsEntry),
+	}
+}
+
+// Policy returns the active batch policy.
+func (s *Scheduler) Policy() Policy { return s.policy }
+
+// Subscribe registers a lifecycle listener.
+func (s *Scheduler) Subscribe(l Listener) { s.listeners = append(s.listeners, l) }
+
+func (s *Scheduler) emit(kind EventKind, j *job.Job) {
+	for _, l := range s.listeners {
+		l(Event{Kind: kind, Job: j})
+	}
+}
+
+// FreeBatchCores returns the currently idle batch cores.
+func (s *Scheduler) FreeBatchCores() int { return s.freeBatch }
+
+// QueueLen returns the number of jobs waiting in the batch queue.
+func (s *Scheduler) QueueLen() int { return len(s.queue) }
+
+// RunningCount returns the number of executing jobs.
+func (s *Scheduler) RunningCount() int { return len(s.running) }
+
+// Started and Finished return lifetime counters.
+func (s *Scheduler) Started() uint64  { return s.started }
+func (s *Scheduler) Finished() uint64 { return s.finished }
+
+// Preemptions returns the number of urgent preemptions performed.
+func (s *Scheduler) Preemptions() uint64 { return s.preemptions }
+
+// Utilization returns the time-averaged fraction of batch cores busy since
+// simulation start.
+func (s *Scheduler) Utilization() float64 {
+	s.accumulate()
+	total := float64(s.M.BatchCores()) * float64(s.K.Now())
+	if total == 0 {
+		return 0
+	}
+	return s.busyIntegral / total
+}
+
+func (s *Scheduler) accumulate() {
+	now := s.K.Now()
+	busy := float64(s.M.BatchCores() - s.freeBatch)
+	s.busyIntegral += busy * float64(now-s.lastAccum)
+	s.lastAccum = now
+}
+
+// Submit places a job in the appropriate queue. Jobs whose core request can
+// never fit the machine are rejected (state Failed). Urgent jobs may
+// trigger preemption immediately.
+func (s *Scheduler) Submit(j *job.Job) {
+	if err := j.Validate(); err != nil {
+		panic("sched: " + err.Error())
+	}
+	j.Site = s.M.Site
+	j.Machine = s.M.ID
+	j.SubmitTime = s.K.Now()
+
+	switch j.QOS {
+	case job.QOSInteractive:
+		if j.Cores > s.M.VizCores() {
+			s.reject(j)
+			return
+		}
+		j.State = job.StateQueued
+		s.vizQueue = append(s.vizQueue, j)
+		s.emit(EventQueued, j)
+		s.dispatchViz()
+	case job.QOSUrgent:
+		if j.Cores > s.M.BatchCores() || !s.M.UrgentCapable {
+			s.reject(j)
+			return
+		}
+		j.State = job.StateQueued
+		s.emit(EventQueued, j)
+		s.startUrgent(j)
+	default:
+		if j.Cores > s.M.BatchCores() {
+			s.reject(j)
+			return
+		}
+		j.State = job.StateQueued
+		s.queue = append(s.queue, j)
+		s.emit(EventQueued, j)
+		s.reschedule()
+	}
+}
+
+func (s *Scheduler) reject(j *job.Job) {
+	j.State = job.StateFailed
+	s.emit(EventRejected, j)
+}
+
+// ---- Batch partition ----
+
+// buildProfile constructs the availability profile from running batch jobs'
+// guaranteed ends plus all committed reservations. Claimed-and-running
+// reservation jobs are already accounted as running jobs.
+func (s *Scheduler) buildProfile() *profile {
+	now := s.K.Now()
+	p := newProfile(now, s.M.BatchCores())
+	// Running jobs hold cores until their guaranteed end. A job whose
+	// guaranteed end equals the current instant may still be running —
+	// its finish event fires later within this timestamp — so hold its
+	// cores for an infinitesimal sliver to keep profile and partition
+	// state consistent; the finish event triggers a fresh reschedule at
+	// the same virtual time.
+	for _, r := range s.running {
+		if r.j.QOS == job.QOSInteractive {
+			continue
+		}
+		end := r.endsBy
+		if end <= now {
+			end = now + 1e-9
+		}
+		p.subtract(now, end, r.j.Cores)
+	}
+	for _, rv := range s.resvs {
+		start := rv.start
+		if start < now {
+			start = now
+		}
+		if rv.end > start {
+			p.subtract(start, rv.end, rv.cores)
+		}
+	}
+	// Maintenance outages blank the machine regardless of other state.
+	for _, o := range s.outages {
+		start := o.start
+		if start < now {
+			start = now
+		}
+		if o.end > start {
+			p.capTo(start, o.end, 0)
+		}
+	}
+	return p
+}
+
+// ---- Maintenance outages ----
+
+// ScheduleOutage declares a maintenance window [start, end): no batch job
+// may be executing during it. Jobs whose walltime would cross into the
+// window are not started (the machine drains), and any job still running
+// when the outage begins is preempted and requeued. Interactive/viz
+// sessions are unaffected (viz partitions were typically serviced
+// separately).
+func (s *Scheduler) ScheduleOutage(start, end des.Time) error {
+	now := s.K.Now()
+	if start < now || end <= start {
+		return fmt.Errorf("sched %s: invalid outage window [%v,%v)", s.M.ID, start, end)
+	}
+	o := &outage{start: start, end: end}
+	s.outages = append(s.outages, o)
+	s.K.AtNamed(start, "outage-start", func(*des.Kernel) {
+		// Preempt stragglers (only possible when the outage was announced
+		// with less lead time than running walltimes).
+		var victims []*running
+		for _, r := range s.running {
+			if r.j.QOS != job.QOSInteractive {
+				victims = append(victims, r)
+			}
+		}
+		sort.Slice(victims, func(a, b int) bool { return victims[a].j.ID < victims[b].j.ID })
+		for _, v := range victims {
+			s.preempt(v)
+		}
+	})
+	s.K.AtNamed(end, "outage-end", func(*des.Kernel) {
+		for i, oo := range s.outages {
+			if oo == o {
+				s.outages = append(s.outages[:i], s.outages[i+1:]...)
+				break
+			}
+		}
+		s.reschedule()
+	})
+	s.reschedule()
+	return nil
+}
+
+// reschedule runs the active policy over the batch queue.
+func (s *Scheduler) reschedule() {
+	if s.rescheduling {
+		s.needReschedule = true
+		return
+	}
+	s.rescheduling = true
+	defer func() { s.rescheduling = false }()
+	for {
+		s.needReschedule = false
+		switch s.policy {
+		case FCFS:
+			s.scheduleFCFS()
+		case EASY:
+			s.scheduleEASY()
+		case Conservative:
+			s.scheduleConservative()
+		case FairShare:
+			s.scheduleFairShare()
+		}
+		if !s.needReschedule {
+			return
+		}
+	}
+}
+
+// ---- Fair share ----
+
+// fsDecayed returns a user's usage decayed to the current instant.
+func (s *Scheduler) fsDecayed(user string) float64 {
+	e, ok := s.fsUsage[user]
+	if !ok {
+		return 0
+	}
+	half := s.FairShareHalfLife
+	if half <= 0 {
+		half = 7 * des.Day
+	}
+	dt := float64(s.K.Now() - e.at)
+	u := e.usage * math.Exp(-math.Ln2*dt/float64(half))
+	// Below one core-second the history is noise; treating it as zero
+	// keeps long-dormant users indistinguishable from new ones.
+	if u < 1 {
+		return 0
+	}
+	return u
+}
+
+// fsCharge folds finished usage into the user's decayed accumulator.
+func (s *Scheduler) fsCharge(user string, coreSeconds float64) {
+	e := s.fsUsage[user]
+	if e == nil {
+		s.fsUsage[user] = &fsEntry{usage: coreSeconds, at: s.K.Now()}
+		return
+	}
+	e.usage = s.fsDecayed(user) + coreSeconds
+	e.at = s.K.Now()
+}
+
+// scheduleFairShare runs EASY over the queue re-ordered by decayed usage
+// (lightest consumers first; ties by submit order). The priority order is
+// realized by permuting the queue, then delegating to the EASY pass — the
+// fairness policy is purely an ordering policy.
+func (s *Scheduler) scheduleFairShare() {
+	sort.SliceStable(s.queue, func(a, b int) bool {
+		ua, ub := s.fsDecayed(s.queue[a].User), s.fsDecayed(s.queue[b].User)
+		if ua != ub {
+			return ua < ub
+		}
+		return s.queue[a].SubmitTime < s.queue[b].SubmitTime
+	})
+	s.scheduleEASY()
+}
+
+// startableNow reports whether j can start immediately under profile p
+// (which must already reflect running jobs and reservations).
+func (s *Scheduler) startableNow(p *profile, j *job.Job) bool {
+	now := s.K.Now()
+	return p.minFree(now, now+j.ReqWalltime) >= j.Cores
+}
+
+func (s *Scheduler) scheduleFCFS() {
+	p := s.buildProfile()
+	for len(s.queue) > 0 {
+		head := s.queue[0]
+		if !s.startableNow(p, head) {
+			return
+		}
+		s.queue = s.queue[1:]
+		s.startBatch(head, "")
+		p.subtract(s.K.Now(), s.K.Now()+head.ReqWalltime, head.Cores)
+	}
+}
+
+func (s *Scheduler) scheduleEASY() {
+	now := s.K.Now()
+	p := s.buildProfile()
+	// Start jobs in order while they fit.
+	for len(s.queue) > 0 {
+		head := s.queue[0]
+		if !s.startableNow(p, head) {
+			break
+		}
+		s.queue = s.queue[1:]
+		s.startBatch(head, "")
+		p.subtract(now, now+head.ReqWalltime, head.Cores)
+	}
+	if len(s.queue) == 0 {
+		return
+	}
+	if s.freeBatch == 0 {
+		return // nothing can backfill into zero free cores
+	}
+	// Reserve the earliest feasible slot for the head job, then backfill
+	// any later job that can start now without disturbing that slot. The
+	// scan depth is capped as production backfill schedulers do: deep
+	// queue positions almost never fit, and bounding the scan keeps
+	// reschedule cost flat under heavy backlog.
+	const maxBackfillScan = 256
+	head := s.queue[0]
+	shadow, ok := p.earliestFit(now, head.Cores, head.ReqWalltime)
+	if ok {
+		p.subtract(shadow, shadow+head.ReqWalltime, head.Cores)
+	}
+	i := 1
+	scanned := 0
+	for i < len(s.queue) && scanned < maxBackfillScan {
+		scanned++
+		cand := s.queue[i]
+		// Cheap rejection before the profile query.
+		if cand.Cores > s.freeBatch {
+			i++
+			continue
+		}
+		if s.startableNow(p, cand) {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			s.startBatch(cand, "")
+			p.subtract(now, now+cand.ReqWalltime, cand.Cores)
+			if s.freeBatch == 0 {
+				return
+			}
+			continue
+		}
+		i++
+	}
+}
+
+func (s *Scheduler) scheduleConservative() {
+	now := s.K.Now()
+	p := s.buildProfile()
+	// Plan queued jobs in FIFO order; start the ones whose planned start
+	// is now. Each plan is committed into the profile so later jobs cannot
+	// delay earlier ones. Planning depth is capped: beyond the cap the
+	// plan horizon is so distant that a deep job could not start now
+	// anyway without jumping earlier jobs, so skipping the bookkeeping
+	// preserves behavior while bounding reschedule cost under backlog.
+	const maxPlan = 128
+	var started []int
+	for idx, j := range s.queue {
+		if idx >= maxPlan {
+			break
+		}
+		at, ok := p.earliestFit(now, j.Cores, j.ReqWalltime)
+		if !ok {
+			continue
+		}
+		p.subtract(at, at+j.ReqWalltime, j.Cores)
+		if at == now {
+			started = append(started, idx)
+		}
+	}
+	// Remove started jobs from the queue back-to-front to keep indexes valid.
+	for i := len(started) - 1; i >= 0; i-- {
+		idx := started[i]
+		j := s.queue[idx]
+		s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
+		s.startBatch(j, "")
+	}
+}
+
+// startBatch begins execution of a batch job immediately.
+func (s *Scheduler) startBatch(j *job.Job, fromResID string) {
+	s.accumulate()
+	s.freeBatch -= j.Cores
+	if s.freeBatch < 0 {
+		panic(fmt.Sprintf("sched %s: batch partition overcommitted by %d cores", s.M.ID, -s.freeBatch))
+	}
+	now := s.K.Now()
+	j.State = job.StateRunning
+	j.StartTime = now
+	dur := j.RunTime
+	killed := false
+	if dur > j.ReqWalltime {
+		dur = j.ReqWalltime
+		killed = true
+	}
+	r := &running{j: j, endsBy: now + j.ReqWalltime, fromResID: fromResID}
+	r.endTimer = s.K.ScheduleNamed(dur, "job-end", func(*des.Kernel) {
+		s.finish(r, killed)
+	})
+	s.running[j.ID] = r
+	s.started++
+	s.emit(EventStarted, j)
+}
+
+// finish completes a running batch or viz job.
+func (s *Scheduler) finish(r *running, killed bool) {
+	j := r.j
+	delete(s.running, j.ID)
+	j.EndTime = s.K.Now()
+	if killed {
+		j.State = job.StateKilled
+	} else {
+		j.State = job.StateCompleted
+	}
+	if j.QOS == job.QOSInteractive {
+		s.freeViz += j.Cores
+	} else {
+		s.accumulate()
+		s.freeBatch += j.Cores
+		if s.policy == FairShare {
+			s.fsCharge(j.User, j.CoreSeconds())
+		}
+	}
+	s.finished++
+	s.emit(EventFinished, j)
+	if j.QOS == job.QOSInteractive {
+		s.dispatchViz()
+	} else {
+		s.reschedule()
+	}
+}
+
+// ---- Urgent computing ----
+
+// startUrgent starts an urgent job immediately, preempting the most
+// recently started normal jobs if needed. Preempted jobs are requeued at
+// the head of the batch queue and restart from scratch.
+func (s *Scheduler) startUrgent(j *job.Job) {
+	need := j.Cores - s.freeBatch
+	if need > 0 {
+		// Victims: running normal-QOS jobs, most recently started first
+		// (minimizes lost work), deterministic tie-break by job ID.
+		var victims []*running
+		for _, r := range s.running {
+			if r.j.QOS == job.QOSNormal && r.fromResID == "" {
+				victims = append(victims, r)
+			}
+		}
+		sort.Slice(victims, func(a, b int) bool {
+			if victims[a].j.StartTime != victims[b].j.StartTime {
+				return victims[a].j.StartTime > victims[b].j.StartTime
+			}
+			return victims[a].j.ID > victims[b].j.ID
+		})
+		for _, v := range victims {
+			if need <= 0 {
+				break
+			}
+			s.preempt(v)
+			need -= v.j.Cores
+		}
+	}
+	if j.Cores > s.freeBatch {
+		// Even preempting everything normal was not enough (urgent jobs or
+		// reservation claims hold the rest). Queue at the head.
+		s.queue = append([]*job.Job{j}, s.queue...)
+		return
+	}
+	s.startBatch(j, "")
+}
+
+// preempt stops a running job and requeues it at the head of the queue.
+// Without checkpointing the job restarts from scratch; with it, completed
+// checkpoint intervals are credited and only the tail is redone.
+func (s *Scheduler) preempt(r *running) {
+	j := r.j
+	s.K.Cancel(r.endTimer)
+	delete(s.running, j.ID)
+	s.accumulate()
+	s.freeBatch += j.Cores
+	if s.CheckpointRestart {
+		interval := s.CheckpointInterval
+		if interval <= 0 {
+			interval = 15 * des.Minute
+		}
+		ran := s.K.Now() - j.StartTime
+		checkpointed := des.Time(int64(ran/interval)) * interval
+		j.RunTime -= checkpointed
+		if j.RunTime < 1 {
+			j.RunTime = 1
+		}
+		// The walltime request shrinks with the remaining work, keeping
+		// the request honest for backfill planning.
+		if j.ReqWalltime > j.RunTime {
+			remaining := j.ReqWalltime - checkpointed
+			if remaining < j.RunTime {
+				remaining = j.RunTime
+			}
+			j.ReqWalltime = remaining
+		}
+	}
+	j.State = job.StatePreempted
+	j.Preemptions++
+	s.preemptions++
+	s.emit(EventPreempted, j)
+	// Requeue at the head, preserving the original submit time so
+	// accumulated wait is reflected in metrics.
+	j.State = job.StateQueued
+	s.queue = append([]*job.Job{j}, s.queue...)
+}
+
+// ---- Interactive / visualization partition ----
+
+func (s *Scheduler) dispatchViz() {
+	for len(s.vizQueue) > 0 {
+		head := s.vizQueue[0]
+		if head.Cores > s.freeViz {
+			return
+		}
+		s.vizQueue = s.vizQueue[1:]
+		s.freeViz -= head.Cores
+		now := s.K.Now()
+		head.State = job.StateRunning
+		head.StartTime = now
+		dur := head.RunTime
+		killed := false
+		if dur > head.ReqWalltime {
+			dur = head.ReqWalltime
+			killed = true
+		}
+		r := &running{j: head, endsBy: now + head.ReqWalltime}
+		r.endTimer = s.K.ScheduleNamed(dur, "viz-end", func(*des.Kernel) {
+			s.finish(r, killed)
+		})
+		s.running[head.ID] = r
+		s.started++
+		s.emit(EventStarted, head)
+	}
+}
+
+// ---- Advance reservations ----
+
+// Reserve commits cores over [start, end). The reservation is honored by
+// all policies: no job may be started whose execution rectangle would
+// overlap it. Returns an error when the request is infeasible against
+// currently running jobs and existing reservations.
+func (s *Scheduler) Reserve(id string, cores int, start, end des.Time) error {
+	now := s.K.Now()
+	if cores <= 0 || cores > s.M.BatchCores() {
+		return fmt.Errorf("sched %s: reservation %s: invalid cores %d", s.M.ID, id, cores)
+	}
+	if start < now || end <= start {
+		return fmt.Errorf("sched %s: reservation %s: invalid window [%v,%v)", s.M.ID, id, start, end)
+	}
+	for _, rv := range s.resvs {
+		if rv.id == id {
+			return fmt.Errorf("sched %s: duplicate reservation %s", s.M.ID, id)
+		}
+	}
+	p := s.buildProfile()
+	if p.minFree(start, end) < cores {
+		return fmt.Errorf("sched %s: reservation %s: %d cores not free over [%v,%v)",
+			s.M.ID, id, cores, start, end)
+	}
+	rv := &reservation{id: id, cores: cores, start: start, end: end}
+	s.resvs = append(s.resvs, rv)
+	s.K.AtNamed(start, "resv-start", func(*des.Kernel) { s.activateReservation(rv) })
+	return nil
+}
+
+// ClaimReservation attaches job j to reservation id; j starts at the
+// reservation's start time on the reserved cores.
+func (s *Scheduler) ClaimReservation(id string, j *job.Job) error {
+	for _, rv := range s.resvs {
+		if rv.id == id {
+			if rv.claim != nil {
+				return fmt.Errorf("sched %s: reservation %s already claimed", s.M.ID, id)
+			}
+			if j.Cores > rv.cores {
+				return fmt.Errorf("sched %s: job needs %d cores, reservation %s has %d",
+					s.M.ID, j.Cores, id, rv.cores)
+			}
+			j.Site = s.M.Site
+			j.Machine = s.M.ID
+			j.SubmitTime = s.K.Now()
+			j.State = job.StateQueued
+			rv.claim = j
+			s.emit(EventQueued, j)
+			return nil
+		}
+	}
+	return fmt.Errorf("sched %s: no reservation %s", s.M.ID, id)
+}
+
+// CancelReservation drops an unclaimed reservation, releasing its window.
+func (s *Scheduler) CancelReservation(id string) bool {
+	for i, rv := range s.resvs {
+		if rv.id == id && rv.claim == nil {
+			s.resvs = append(s.resvs[:i], s.resvs[i+1:]...)
+			s.reschedule()
+			return true
+		}
+	}
+	return false
+}
+
+// activateReservation fires at a reservation's start time: the claimed job
+// begins executing; the reservation window shrinks to the claim (or is
+// dropped when unclaimed), then normal scheduling resumes.
+func (s *Scheduler) activateReservation(rv *reservation) {
+	for i, r := range s.resvs {
+		if r == rv {
+			s.resvs = append(s.resvs[:i], s.resvs[i+1:]...)
+			break
+		}
+	}
+	if rv.claim != nil {
+		// Cap the claimed job's walltime at the reservation window so the
+		// profile guarantee stays sound.
+		if rv.claim.ReqWalltime > rv.end-rv.start {
+			rv.claim.ReqWalltime = rv.end - rv.start
+		}
+		s.startBatch(rv.claim, rv.id)
+	}
+	s.reschedule()
+}
+
+// ---- Queue estimation (metascheduler interface) ----
+
+// EstimateStart predicts the earliest start time of a hypothetical
+// (cores, walltime) request submitted now, assuming conservative planning
+// of everything currently queued. The estimate is what TeraGrid's
+// batch-queue-prediction tools exposed to resource selectors.
+func (s *Scheduler) EstimateStart(cores int, walltime des.Time) (des.Time, bool) {
+	if cores <= 0 || cores > s.M.BatchCores() {
+		return 0, false
+	}
+	p := s.buildProfile()
+	// The estimator plans the queue in detail up to a depth bound, then
+	// folds anything beyond it into an aggregate backlog term (total
+	// requested core-seconds divided by machine capacity). Detailed
+	// planning keeps estimates honest at normal depths — a truncated plan
+	// would bias optimistic exactly when predictions matter — while the
+	// aggregate tail keeps the call linear when a queue has blown up.
+	const maxDetailed = 1000
+	detail := len(s.queue)
+	if detail > maxDetailed {
+		detail = maxDetailed
+	}
+	for _, q := range s.queue[:detail] {
+		at, ok := p.earliestFit(s.K.Now(), q.Cores, q.ReqWalltime)
+		if ok {
+			p.subtract(at, at+q.ReqWalltime, q.Cores)
+		}
+	}
+	at, ok := p.earliestFit(s.K.Now(), cores, walltime)
+	if !ok {
+		return 0, false
+	}
+	if len(s.queue) > detail {
+		var tailCS float64
+		for _, q := range s.queue[detail:] {
+			tailCS += float64(q.ReqWalltime) * float64(q.Cores)
+		}
+		at += des.Time(tailCS / float64(s.M.BatchCores()))
+	}
+	return at, true
+}

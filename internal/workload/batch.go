@@ -1,0 +1,271 @@
+package workload
+
+import (
+	"fmt"
+
+	"github.com/tgsim/tgmod/internal/des"
+	"github.com/tgsim/tgmod/internal/job"
+	"github.com/tgsim/tgmod/internal/simrand"
+	"github.com/tgsim/tgmod/internal/users"
+)
+
+// BatchGen produces ordinary batch HPC usage — the bulk of NUs. It covers
+// two modalities with one mechanism: capacity jobs (small/medium parallel
+// work) and capability jobs (hero-scale runs on the largest machine).
+type BatchGen struct {
+	// JobsPerDay is the weekday-peak submission rate across the cohort.
+	JobsPerDay float64
+	// CapabilityFrac is the fraction of submissions that are hero-scale.
+	CapabilityFrac float64
+	// MedianRuntime of capacity jobs in seconds; capability runs are 4x.
+	MedianRuntime float64
+}
+
+// Name implements Generator.
+func (g *BatchGen) Name() string { return "batch" }
+
+// Start implements Generator.
+func (g *BatchGen) Start(e *Env) {
+	rng := simrand.Derive(e.Seed, "gen-batch")
+	pick, err := users.NewWeightedPick(e.Pop.Users)
+	if err != nil {
+		panic("workload: batch generator needs a population: " + err.Error())
+	}
+	machines := e.Machines()
+	// Per-user favorite machine: direct submitters overwhelmingly stick
+	// to one or two resources.
+	favorite := make(map[string]string)
+	rate := g.JobsPerDay / 86400
+	PoissonArrivals(e, rng, rate, func() {
+		u := pick.Pick(rng)
+		m, ok := favorite[u.Name]
+		if !ok {
+			m = machines[rng.Intn(len(machines))]
+			favorite[u.Name] = m
+		}
+		s := e.Sched[m]
+		maxCores := s.M.BatchCores()
+		j := &job.Job{
+			ID:      e.NewJobID(),
+			User:    u.Name,
+			Project: u.Project,
+			Attr:    job.Attributes{ScienceField: u.Field},
+		}
+		if rng.Bool(g.CapabilityFrac) {
+			// Hero run: ≥ half of the largest machine in the federation.
+			m = g.largest(e)
+			s = e.Sched[m]
+			maxCores = s.M.BatchCores()
+			j.Cores = maxCores / 2
+			if rng.Bool(0.3) {
+				j.Cores = maxCores // full-machine run
+			}
+			j.RunTime = DrawRuntime(rng, 4*g.MedianRuntime, 0.8)
+			j.Name = fmt.Sprintf("hero-%s", u.Project)
+			j.Truth.Modality = job.ModBatchCapability
+		} else {
+			j.Cores = DrawCores(rng, 0, 8, maxCores)
+			j.RunTime = DrawRuntime(rng, g.MedianRuntime, 1.2)
+			j.Name = fmt.Sprintf("run-%s-%02d", u.Name, rng.Intn(20))
+			j.Truth.Modality = job.ModBatchCapacity
+		}
+		j.ReqWalltime = DrawWalltime(rng, j.RunTime)
+		// 5% of users underestimate and get walltime-killed.
+		if rng.Bool(0.05) {
+			j.ReqWalltime = des.Time(float64(j.RunTime) * 0.8)
+			if j.ReqWalltime < 30 {
+				j.ReqWalltime = 30
+			}
+		}
+		via := "login"
+		if rng.Bool(0.25) {
+			via = "gram" // remote grid submission
+		}
+		if err := e.SubmitDirect(m, via, j); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// largest returns the machine with the most batch cores.
+func (g *BatchGen) largest(e *Env) string {
+	best := ""
+	bestCores := -1
+	for _, id := range e.Machines() {
+		if c := e.Sched[id].M.BatchCores(); c > bestCores {
+			best, bestCores = id, c
+		}
+	}
+	return best
+}
+
+// EnsembleGen produces high-throughput campaigns: bursts of many similar
+// single- or few-core jobs (parameter sweeps, uncertainty quantification).
+// Instrumentation: campaigns carry an ensemble tag with TagCoverage
+// probability — untagged campaigns must be inferred by the measurement
+// framework from name/size/burst similarity.
+type EnsembleGen struct {
+	CampaignsPerDay float64
+	// JobsPerCampaign is the mean sweep width (geometric-ish spread).
+	JobsPerCampaign int
+	// TagCoverage is the probability a campaign's jobs carry EnsembleID.
+	TagCoverage float64
+	// MedianRuntime of sweep members, seconds.
+	MedianRuntime float64
+}
+
+// Name implements Generator.
+func (g *EnsembleGen) Name() string { return "ensemble" }
+
+// Start implements Generator.
+func (g *EnsembleGen) Start(e *Env) {
+	rng := simrand.Derive(e.Seed, "gen-ensemble")
+	pick, err := users.NewWeightedPick(e.Pop.Users)
+	if err != nil {
+		panic("workload: ensemble generator needs a population: " + err.Error())
+	}
+	machines := e.Machines()
+	campaignN := 0
+	rate := g.CampaignsPerDay / 86400
+	PoissonArrivals(e, rng, rate, func() {
+		u := pick.Pick(rng)
+		m := machines[rng.Intn(len(machines))]
+		maxCores := e.Sched[m].M.BatchCores()
+		campaignN++
+		campaign := fmt.Sprintf("ens-%05d", campaignN)
+		tagged := rng.Bool(g.TagCoverage)
+		n := 2 + rng.Intn(2*g.JobsPerCampaign) // width ∈ [2, 2·mean]
+		cores := DrawCores(rng, 0, 4, maxCores)
+		median := g.MedianRuntime
+		name := fmt.Sprintf("sweep-%s-%02d", u.Name, rng.Intn(10))
+		wall := DrawWalltime(rng, DrawRuntime(rng, median, 0.3)*2)
+		for i := 0; i < n; i++ {
+			j := &job.Job{
+				ID:          e.NewJobID(),
+				Name:        name,
+				User:        u.Name,
+				Project:     u.Project,
+				Cores:       cores,
+				RunTime:     DrawRuntime(rng, median, 0.3),
+				ReqWalltime: wall,
+				Attr:        job.Attributes{ScienceField: u.Field},
+				Truth:       job.Truth{Modality: job.ModEnsemble, CampaignID: campaign},
+			}
+			if tagged {
+				j.Attr.EnsembleID = campaign
+			}
+			// Members land in a tight burst, seconds apart.
+			delay := des.Time(float64(i) * (1 + rng.Float64()*10))
+			jj := j
+			mm := m
+			e.K.Schedule(delay, func(*des.Kernel) {
+				if err := e.SubmitDirect(mm, "login", jj); err != nil {
+					panic(err)
+				}
+			})
+		}
+	})
+}
+
+// InteractiveGen produces interactive/visualization sessions: short,
+// business-hours, small-core sessions on viz-capable machines.
+type InteractiveGen struct {
+	SessionsPerDay float64
+	MedianSession  float64 // seconds
+}
+
+// Name implements Generator.
+func (g *InteractiveGen) Name() string { return "interactive" }
+
+// Start implements Generator.
+func (g *InteractiveGen) Start(e *Env) {
+	rng := simrand.Derive(e.Seed, "gen-interactive")
+	pick, err := users.NewWeightedPick(e.Pop.Users)
+	if err != nil {
+		panic("workload: interactive generator needs a population: " + err.Error())
+	}
+	// Only machines with a viz partition qualify.
+	var vizMachines []string
+	for _, id := range e.Machines() {
+		if e.Sched[id].M.VizCores() > 0 {
+			vizMachines = append(vizMachines, id)
+		}
+	}
+	if len(vizMachines) == 0 {
+		return
+	}
+	rate := g.SessionsPerDay / 86400
+	PoissonArrivals(e, rng, rate, func() {
+		u := pick.Pick(rng)
+		m := vizMachines[rng.Intn(len(vizMachines))]
+		run := DrawRuntime(rng, g.MedianSession, 0.7)
+		if run > 8*des.Hour {
+			run = 8 * des.Hour
+		}
+		j := &job.Job{
+			ID:          e.NewJobID(),
+			Name:        fmt.Sprintf("viz-%s", u.Name),
+			User:        u.Name,
+			Project:     u.Project,
+			Cores:       DrawCores(rng, 0, 3, e.Sched[m].M.VizCores()),
+			RunTime:     run,
+			ReqWalltime: run + des.Hour, // sessions reserve generous time
+			QOS:         job.QOSInteractive,
+			Attr:        job.Attributes{ScienceField: u.Field},
+			Truth:       job.Truth{Modality: job.ModInteractive},
+		}
+		if err := e.SubmitDirect(m, "login", j); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// UrgentGen produces on-demand/urgent computing: rare external events
+// (storm forecasts, aftershock models) that must run immediately on an
+// urgent-capable machine.
+type UrgentGen struct {
+	EventsPerWeek float64
+	MedianRuntime float64
+}
+
+// Name implements Generator.
+func (g *UrgentGen) Name() string { return "urgent" }
+
+// Start implements Generator.
+func (g *UrgentGen) Start(e *Env) {
+	rng := simrand.Derive(e.Seed, "gen-urgent")
+	pick, err := users.NewWeightedPick(e.Pop.Users)
+	if err != nil {
+		panic("workload: urgent generator needs a population: " + err.Error())
+	}
+	var capable []string
+	for _, id := range e.Machines() {
+		if e.Sched[id].M.UrgentCapable {
+			capable = append(capable, id)
+		}
+	}
+	if len(capable) == 0 {
+		return
+	}
+	rate := g.EventsPerWeek / float64(des.Week)
+	PoissonArrivals(e, rng, rate, func() {
+		u := pick.Pick(rng)
+		m := capable[rng.Intn(len(capable))]
+		run := DrawRuntime(rng, g.MedianRuntime, 0.5)
+		j := &job.Job{
+			ID:          e.NewJobID(),
+			Name:        "urgent-response",
+			User:        u.Name,
+			Project:     u.Project,
+			Cores:       DrawCores(rng, 5, 9, e.Sched[m].M.BatchCores()),
+			RunTime:     run,
+			ReqWalltime: DrawWalltime(rng, run),
+			QOS:         job.QOSUrgent,
+			Attr:        job.Attributes{ScienceField: u.Field},
+			Truth:       job.Truth{Modality: job.ModUrgent},
+		}
+		if err := e.SubmitDirect(m, "gram", j); err != nil {
+			panic(err)
+		}
+	})
+}

@@ -1,0 +1,200 @@
+// Package workload synthesizes the federation's job streams. One generator
+// per usage modality drives the substrate (schedulers, broker, gateways,
+// workflow engine, stager) and stamps every job with its ground-truth
+// modality label, giving the measurement framework a labeled corpus to be
+// validated against — the thing production TeraGrid never had.
+//
+// Distributional choices follow standard parallel-workload modeling
+// practice: lognormal runtimes, power-of-two-biased core counts, Poisson or
+// bursty arrivals with diurnal modulation, heavy-tailed per-user activity.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/tgsim/tgmod/internal/des"
+	"github.com/tgsim/tgmod/internal/gateway"
+	"github.com/tgsim/tgmod/internal/job"
+	"github.com/tgsim/tgmod/internal/metasched"
+	"github.com/tgsim/tgmod/internal/sched"
+	"github.com/tgsim/tgmod/internal/simrand"
+	"github.com/tgsim/tgmod/internal/storage"
+	"github.com/tgsim/tgmod/internal/users"
+	"github.com/tgsim/tgmod/internal/workflow"
+)
+
+// Env is the wiring generators run against. The scenario layer constructs
+// it; tests stub the parts they need.
+type Env struct {
+	K        *des.Kernel
+	Seed     uint64
+	Horizon  des.Time // generators stop creating new work at the horizon
+	Pop      *users.Population
+	Sched    map[string]*sched.Scheduler // by machine ID
+	Broker   *metasched.Broker
+	Gateways map[string]*gateway.Gateway
+	Stager   *storage.Stager
+	Archives map[string]*storage.Archive
+	// DataHomeSite maps projects to where their reference data lives.
+	DataHomeSite map[string]string
+
+	// Tracker routes terminal job events to workflow instances.
+	Tracker *Tracker
+
+	nextJobID job.ID
+}
+
+// NewJobID allocates the next unique job ID.
+func (e *Env) NewJobID() job.ID {
+	e.nextJobID++
+	return e.nextJobID
+}
+
+// JobsCreated returns how many IDs have been allocated.
+func (e *Env) JobsCreated() int64 { return int64(e.nextJobID) }
+
+// Machines returns machine IDs sorted, for deterministic iteration.
+func (e *Env) Machines() []string {
+	out := make([]string, 0, len(e.Sched))
+	for id := range e.Sched {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SubmitDirect submits to a specific machine with the given submission
+// mechanism attribute ("login" for interactive shells, "gram" for remote
+// grid submission).
+func (e *Env) SubmitDirect(machine, via string, j *job.Job) error {
+	s, ok := e.Sched[machine]
+	if !ok {
+		return fmt.Errorf("workload: unknown machine %s", machine)
+	}
+	j.Attr.SubmitVia = via
+	s.Submit(j)
+	return nil
+}
+
+// Generator is a workload source. Start schedules the generator's events;
+// generators stop creating work once Env.Horizon passes.
+type Generator interface {
+	Name() string
+	Start(e *Env)
+}
+
+// Tracker routes finished jobs back to the workflow instances that own
+// them, and records campaign completion statistics.
+type Tracker struct {
+	byJob map[job.ID]*workflow.Instance
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{byJob: make(map[job.ID]*workflow.Instance)}
+}
+
+// Watch associates every job of a workflow instance as it is released.
+// Generators call this for each task's job before starting the instance.
+func (t *Tracker) Watch(j *job.Job, w *workflow.Instance) { t.byJob[j.ID] = w }
+
+// JobFinished forwards a terminal job to its workflow, if any.
+func (t *Tracker) JobFinished(j *job.Job) {
+	if w, ok := t.byJob[j.ID]; ok {
+		w.TaskFinished(j)
+	}
+}
+
+// Tracked returns the number of tracked jobs.
+func (t *Tracker) Tracked() int { return len(t.byJob) }
+
+// ---- Shared distribution helpers ----
+
+// DrawRuntime draws a job runtime from a lognormal with the given median
+// (seconds) and shape, clamped to [30s, 5d].
+func DrawRuntime(rng *simrand.Stream, medianSeconds, sigma float64) des.Time {
+	v := rng.LogNormal(math.Log(medianSeconds), sigma)
+	if v < 30 {
+		v = 30
+	}
+	if v > 5*24*3600 {
+		v = 5 * 24 * 3600
+	}
+	return des.Time(v)
+}
+
+// DrawWalltime draws the user's requested walltime: actual runtime padded
+// by the well-documented overestimation habit (uniform 1.1–5x), rounded up
+// to a 15-minute granularity, clamped to 7 days.
+func DrawWalltime(rng *simrand.Stream, run des.Time) des.Time {
+	factor := 1.1 + 3.9*rng.Float64()
+	w := float64(run) * factor
+	const gran = 900
+	w = math.Ceil(w/gran) * gran
+	if w > 7*24*3600 {
+		w = 7 * 24 * 3600
+	}
+	return des.Time(w)
+}
+
+// DrawCores draws a parallel job size: power of two with probability 0.75
+// (the dominant habit), otherwise uniform in range; always clamped to
+// [1, max].
+func DrawCores(rng *simrand.Stream, loExp, hiExp, max int) int {
+	var c int
+	if rng.Bool(0.75) {
+		c = rng.PowerOfTwo(loExp, hiExp)
+	} else {
+		c = rng.IntRange(1<<uint(loExp), 1<<uint(hiExp))
+	}
+	if c > max {
+		c = max
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// DiurnalRate modulates a base rate by hour-of-day and day-of-week: nights
+// run at 40% and weekends at 55% of the weekday-daytime rate, matching the
+// submission cycles in production traces.
+func DiurnalRate(at des.Time, base float64) float64 {
+	sec := float64(at)
+	day := int(sec/86400) % 7
+	hour := int(sec/3600) % 24
+	rate := base
+	if hour < 8 || hour >= 20 {
+		rate *= 0.4
+	}
+	if day >= 5 {
+		rate *= 0.55
+	}
+	return rate
+}
+
+// PoissonArrivals schedules fn at exponentially spaced times with a
+// diurnally modulated rate (events/second at weekday peak) until the
+// horizon. It uses thinning: draws at the peak rate and accepts with
+// probability rate(t)/peak.
+func PoissonArrivals(e *Env, rng *simrand.Stream, peakRate float64, fn func()) {
+	if peakRate <= 0 {
+		panic("workload: non-positive arrival rate")
+	}
+	var arm func()
+	arm = func() {
+		dt := des.Time(rng.Exp(peakRate))
+		e.K.Schedule(dt, func(k *des.Kernel) {
+			if k.Now() >= e.Horizon {
+				return
+			}
+			if rng.Bool(DiurnalRate(k.Now(), peakRate) / peakRate) {
+				fn()
+			}
+			arm()
+		})
+	}
+	arm()
+}
