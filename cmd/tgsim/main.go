@@ -8,16 +8,20 @@
 //	tgsim [-seed N] [-days D] [-policy fcfs|easy|conservative|fairshare]
 //	      [-trace out.jsonl] [-csv-dir DIR] [-config cfg.json] [-dump-config cfg.json]
 //	      [-maintenance-every D] [-quiet]
+//	      [-chrome-trace t.json] [-obs-jsonl t.jsonl] [-obs-csv DIR]
+//	      [-obs-sample-hours H] [-profile]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
 	"github.com/tgsim/tgmod/internal/core"
 	"github.com/tgsim/tgmod/internal/des"
+	"github.com/tgsim/tgmod/internal/obs"
 	"github.com/tgsim/tgmod/internal/report"
 	"github.com/tgsim/tgmod/internal/scenario"
 )
@@ -40,6 +44,11 @@ func run() error {
 	csvDir := flag.String("csv-dir", "", "also write every report as CSV into this directory")
 	configPath := flag.String("config", "", "load the scenario from a JSON config file (overrides other scenario flags)")
 	dumpConfig := flag.String("dump-config", "", "write the effective scenario config as JSON and exit")
+	chromeTrace := flag.String("chrome-trace", "", "write a Chrome trace-event JSON file of job/transfer/gateway spans (open in Perfetto)")
+	obsJSONL := flag.String("obs-jsonl", "", "write the span event stream as JSON lines to this file")
+	obsCSV := flag.String("obs-csv", "", "write virtual-time metric CSVs (queue depth, utilization, ...) into this directory")
+	obsSampleHours := flag.Float64("obs-sample-hours", 1, "metric sampling period in virtual hours (with -obs-csv)")
+	profile := flag.Bool("profile", false, "print the kernel self-profile (wall-clock cost per event name) after the run")
 	flag.Parse()
 
 	var cfg scenario.Config
@@ -71,6 +80,20 @@ func run() error {
 			cfg.MaintenanceLength = des.Time(*maintHours) * des.Hour
 		}
 	}
+	// Observability applies regardless of where the config came from.
+	var spans *obs.Buffer
+	if *chromeTrace != "" || *obsJSONL != "" {
+		spans = obs.NewBuffer()
+		cfg.Observe.Recorder = spans
+	}
+	if *obsCSV != "" {
+		if *obsSampleHours <= 0 {
+			return fmt.Errorf("non-positive -obs-sample-hours")
+		}
+		cfg.Observe.SamplePeriod = des.Time(*obsSampleHours) * des.Hour
+	}
+	cfg.Observe.Profile = *profile
+
 	if *dumpConfig != "" {
 		cf, err := scenario.FromConfig(cfg)
 		if err != nil {
@@ -108,6 +131,32 @@ func run() error {
 		}
 	}
 
+	// Observability exports.
+	if spans != nil && *chromeTrace != "" {
+		if err := writeTo(*chromeTrace, spans.WriteChromeTrace); err != nil {
+			return err
+		}
+	}
+	if spans != nil && *obsJSONL != "" {
+		if err := writeTo(*obsJSONL, spans.WriteJSONL); err != nil {
+			return err
+		}
+	}
+	if *obsCSV != "" && res.Sampler != nil {
+		if err := os.MkdirAll(*obsCSV, 0o755); err != nil {
+			return err
+		}
+		for _, group := range res.Sampler.Groups() {
+			group := group
+			path := filepath.Join(*obsCSV, group+".csv")
+			if err := writeTo(path, func(w io.Writer) error {
+				return res.Sampler.WriteCSV(group, w)
+			}); err != nil {
+				return err
+			}
+		}
+	}
+
 	var saveCSV func(name string, t *report.Table) error
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -132,7 +181,7 @@ func run() error {
 		fmt.Printf("jobs=%d NUs=%.0f users=%d events=%d\n",
 			len(res.Central.Jobs()), res.Central.TotalNUs(),
 			res.Central.DistinctUsers(), res.Kernel.Executed())
-		return nil
+		return printProfile(res)
 	}
 
 	fmt.Printf("tgsim: %s federation, %d cores, %.1f simulated days, policy=%s, seed=%d\n",
@@ -219,5 +268,32 @@ func run() error {
 	if err := util.WriteText(os.Stdout); err != nil {
 		return err
 	}
-	return saveCSV("machines", util)
+	if err := saveCSV("machines", util); err != nil {
+		return err
+	}
+	return printProfile(res)
+}
+
+// printProfile renders the kernel self-profile when one was collected.
+func printProfile(res *scenario.Result) error {
+	if res.Profiler == nil {
+		return nil
+	}
+	fmt.Println()
+	fmt.Println(res.Profiler.Summary())
+	return res.Profiler.Table().WriteText(os.Stdout)
+}
+
+// writeTo creates path, hands it to write, and closes it, reporting the
+// first error.
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

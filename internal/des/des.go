@@ -37,7 +37,9 @@ const (
 // Forever is a time later than any event the kernel will ever execute.
 const Forever Time = Time(math.MaxFloat64)
 
-// String renders the time as d:hh:mm:ss for readability in traces.
+// String renders the time as d:hh:mm:ss for readability in traces, with a
+// millisecond suffix (d:hh:mm:ss.mmm) when the value has a fractional part
+// — sub-second event times would otherwise all render as 0:00:00:00.
 func (t Time) String() string {
 	if t == Forever {
 		return "forever"
@@ -47,12 +49,20 @@ func (t Time) String() string {
 		neg, t = "-", -t
 	}
 	s := int64(t)
+	ms := int64((float64(t)-float64(s))*1000 + 0.5)
+	if ms >= 1000 {
+		s++
+		ms = 0
+	}
 	d := s / 86400
 	s -= d * 86400
 	h := s / 3600
 	s -= h * 3600
 	m := s / 60
 	s -= m * 60
+	if ms > 0 {
+		return fmt.Sprintf("%s%d:%02d:%02d:%02d.%03d", neg, d, h, m, s, ms)
+	}
 	return fmt.Sprintf("%s%d:%02d:%02d:%02d", neg, d, h, m, s)
 }
 
@@ -123,23 +133,42 @@ type TracerFunc func(at Time, name string)
 // Event implements Tracer.
 func (f TracerFunc) Event(at Time, name string) { f(at, name) }
 
+// StepObserver is an optional Tracer extension. When the installed tracer
+// also implements it, the kernel calls AfterEvent once the event's handler
+// has returned, passing the pending-event count — enough to measure
+// per-event wall-clock cost and future-event-list pressure from outside
+// the kernel. The implementation check happens once, at SetTracer time, so
+// the per-event cost for plain tracers is a single nil comparison.
+type StepObserver interface {
+	AfterEvent(at Time, name string, pending int)
+}
+
 // Kernel is a discrete-event simulation engine. The zero value is ready to
 // use; New is provided for symmetry and future options.
 type Kernel struct {
-	now      Time
-	seq      uint64
-	events   eventHeap
-	executed uint64
-	stopped  bool
-	tracer   Tracer
+	now        Time
+	seq        uint64
+	events     eventHeap
+	executed   uint64
+	stopped    bool
+	tracer     Tracer
+	after      StepObserver
+	maxPending int
 }
 
 // New returns a ready-to-run kernel with the clock at zero.
 func New() *Kernel { return &Kernel{} }
 
 // SetTracer installs tr as the kernel's event tracer. Passing nil disables
-// tracing.
-func (k *Kernel) SetTracer(tr Tracer) { k.tracer = tr }
+// tracing. If tr also implements StepObserver, AfterEvent fires after each
+// handler returns.
+func (k *Kernel) SetTracer(tr Tracer) {
+	k.tracer = tr
+	k.after = nil
+	if so, ok := tr.(StepObserver); ok {
+		k.after = so
+	}
+}
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
@@ -149,6 +178,10 @@ func (k *Kernel) Executed() uint64 { return k.executed }
 
 // Pending returns the number of events currently scheduled.
 func (k *Kernel) Pending() int { return len(k.events) }
+
+// MaxPending returns the future-event-list high-water mark: the largest
+// number of simultaneously pending events observed so far.
+func (k *Kernel) MaxPending() int { return k.maxPending }
 
 // Schedule arranges for fn to run after delay seconds of virtual time and
 // returns a cancelable handle. A negative delay is treated as zero.
@@ -186,6 +219,9 @@ func (k *Kernel) AtNamed(t Time, name string, fn Handler) *Timer {
 	tm := &Timer{at: t, seq: k.seq, fn: fn, name: name}
 	k.seq++
 	heap.Push(&k.events, tm)
+	if len(k.events) > k.maxPending {
+		k.maxPending = len(k.events)
+	}
 	return tm
 }
 
@@ -216,6 +252,9 @@ func (k *Kernel) Step() bool {
 		k.tracer.Event(k.now, t.name)
 	}
 	fn(k)
+	if k.after != nil {
+		k.after.AfterEvent(k.now, t.name, len(k.events))
+	}
 	return true
 }
 
@@ -256,10 +295,15 @@ func (k *Kernel) NextEventAt() (Time, bool) {
 // after one period, until the returned Ticker is stopped. A period of zero
 // or less panics: a zero-period ticker would live-lock the kernel.
 func (k *Kernel) Every(period Time, fn Handler) *Ticker {
+	return k.EveryNamed(period, "", fn)
+}
+
+// EveryNamed is Every with a debug name recorded in traces on every tick.
+func (k *Kernel) EveryNamed(period Time, name string, fn Handler) *Ticker {
 	if period <= 0 {
 		panic("des: Every called with non-positive period")
 	}
-	tk := &Ticker{k: k, period: period, fn: fn}
+	tk := &Ticker{k: k, period: period, name: name, fn: fn}
 	tk.arm()
 	return tk
 }
@@ -268,13 +312,14 @@ func (k *Kernel) Every(period Time, fn Handler) *Ticker {
 type Ticker struct {
 	k       *Kernel
 	period  Time
+	name    string
 	fn      Handler
 	timer   *Timer
 	stopped bool
 }
 
 func (tk *Ticker) arm() {
-	tk.timer = tk.k.Schedule(tk.period, func(k *Kernel) {
+	tk.timer = tk.k.ScheduleNamed(tk.period, tk.name, func(k *Kernel) {
 		if tk.stopped {
 			return
 		}

@@ -16,6 +16,10 @@ func TestTimeString(t *testing.T) {
 		{61, "0:00:01:01"},
 		{Day + Hour + Minute + Second, "1:01:01:01"},
 		{-61, "-0:00:01:01"},
+		{0.5, "0:00:00:00.500"},
+		{61.25, "0:00:01:01.250"},
+		{1.9996, "0:00:00:02"}, // rounds up to the next whole second
+		{-0.5, "-0:00:00:00.500"},
 		{Forever, "forever"},
 	}
 	for _, c := range cases {

@@ -140,7 +140,7 @@ func (r *Resource) dispatch() {
 		head.granted = true
 		r.grants++
 		fn := head.fn
-		r.k.Schedule(0, fn)
+		r.k.ScheduleNamed(0, "resource-grant", fn)
 	}
 }
 

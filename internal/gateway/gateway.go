@@ -36,6 +36,10 @@ type Gateway struct {
 	// AttrCoverage is the probability a submission carries its gateway
 	// end-user attribute record (1.0 = fully instrumented AAAA deployment).
 	AttrCoverage float64
+	// OnRequest, when non-nil, observes every gateway submission just
+	// before it is handed to the submitter. attributed reports whether the
+	// request carried its end-user attribute record.
+	OnRequest func(endUser string, j *job.Job, attributed bool)
 
 	k      *des.Kernel
 	rng    *simrand.Stream
@@ -97,7 +101,8 @@ func (g *Gateway) Request(endUser string, j *job.Job) {
 	if j.Attr.ScienceField == "" {
 		j.Attr.ScienceField = g.ScienceField
 	}
-	if g.rng.Bool(g.AttrCoverage) {
+	attributed := g.rng.Bool(g.AttrCoverage)
+	if attributed {
 		j.Attr.GatewayUser = endUser
 		g.attributed++
 		g.ledger.AddGatewayAttr(accounting.GatewayAttrRecord{
@@ -106,6 +111,9 @@ func (g *Gateway) Request(endUser string, j *job.Job) {
 			JobID:       int64(j.ID),
 			At:          float64(g.k.Now()),
 		})
+	}
+	if g.OnRequest != nil {
+		g.OnRequest(endUser, j, attributed)
 	}
 	g.submit.SubmitJob(j)
 }

@@ -257,6 +257,27 @@ func (ts *TimeSeries) Counts() []int { return ts.counts }
 // Len returns the number of periods observed.
 func (ts *TimeSeries) Len() int { return len(ts.buckets) }
 
+// Period returns the bucket width in seconds.
+func (ts *TimeSeries) Period() float64 { return ts.period }
+
+// Count returns the event count of bucket i (0 when out of range).
+func (ts *TimeSeries) Count(i int) int {
+	if i < 0 || i >= len(ts.counts) {
+		return 0
+	}
+	return ts.counts[i]
+}
+
+// Mean returns the mean weight of bucket i (0 when empty or out of range)
+// — the natural read for sampled gauges, where each bucket holds one or
+// more point-in-time observations rather than an accumulating total.
+func (ts *TimeSeries) Mean(i int) float64 {
+	if i < 0 || i >= len(ts.buckets) || ts.counts[i] == 0 {
+		return 0
+	}
+	return ts.buckets[i] / float64(ts.counts[i])
+}
+
 // Confusion is a labeled confusion matrix for classifier validation.
 type Confusion struct {
 	labels []string

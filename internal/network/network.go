@@ -126,10 +126,15 @@ func (tr *Transfer) EffectiveBps() float64 {
 
 // Fabric executes transfers over a topology under max-min fair sharing.
 type Fabric struct {
-	K      *des.Kernel
-	T      *Topology
-	active map[int64]*Transfer
-	nextID int64
+	K *des.Kernel
+	T *Topology
+	// OnStart and OnComplete, when non-nil, observe transfer lifecycle:
+	// OnStart fires when a transfer is accepted (before any data moves),
+	// OnComplete when the last byte lands, before the caller's done hook.
+	OnStart    func(*Transfer)
+	OnComplete func(*Transfer)
+	active     map[int64]*Transfer
+	nextID     int64
 	// recompute event bookkeeping: at most one pending completion event;
 	// when rates change the event is re-derived.
 	wake *des.Timer
@@ -205,12 +210,18 @@ func (f *Fabric) Start(src, dst string, bytes int64, streams int, done func(*Tra
 	}
 	if src == dst {
 		f.intraSite++
+		if f.OnStart != nil {
+			f.OnStart(tr)
+		}
 		const localBps = 2e9
 		dur := des.Time(float64(bytes) / localBps)
 		f.K.ScheduleNamed(dur, "xfer-local", func(*des.Kernel) {
 			tr.EndedAt = f.K.Now()
 			f.completed++
 			f.bytesMoved += float64(bytes)
+			if f.OnComplete != nil {
+				f.OnComplete(tr)
+			}
 			if tr.done != nil {
 				tr.done(tr)
 			}
@@ -228,6 +239,9 @@ func (f *Fabric) Start(src, dst string, bytes int64, streams int, done func(*Tra
 	tr.links = []*Link{out, in}
 	if f.T.backbone != nil {
 		tr.links = append(tr.links, f.T.backbone)
+	}
+	if f.OnStart != nil {
+		f.OnStart(tr)
 	}
 	// Startup latency: control-channel setup plus striping negotiation,
 	// a few RTTs. After it elapses the flow joins the fluid model.
@@ -366,6 +380,9 @@ func (f *Fabric) advance() {
 			delete(f.active, id)
 			tr.EndedAt = now
 			f.completed++
+			if f.OnComplete != nil {
+				f.OnComplete(tr)
+			}
 			if tr.done != nil {
 				tr.done(tr)
 			}

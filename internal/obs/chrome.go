@@ -1,0 +1,174 @@
+// Chrome trace-event and JSONL export. The Chrome format is the JSON
+// object form ({"traceEvents": [...]}) loadable in Perfetto and
+// chrome://tracing; tracks map to named threads of one process via
+// thread_name metadata events. Serialization is hand-rolled so the output
+// bytes are a pure function of the event stream (args keep their recorded
+// order; floats use one fixed formatting), which the determinism tests
+// rely on.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// quoteJSON renders s as a JSON string literal. encoding/json's string
+// escaping is deterministic and always valid JSON, unlike strconv.Quote.
+func quoteJSON(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+// appendValue renders a KV value as a JSON literal.
+func appendValue(dst []byte, v any) []byte {
+	switch x := v.(type) {
+	case string:
+		return append(dst, quoteJSON(x)...)
+	case int:
+		return strconv.AppendInt(dst, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(dst, x, 10)
+	case uint64:
+		return strconv.AppendUint(dst, x, 10)
+	case float64:
+		return strconv.AppendFloat(dst, x, 'g', -1, 64)
+	case bool:
+		return strconv.AppendBool(dst, x)
+	default:
+		return append(dst, quoteJSON(fmt.Sprintf("%v", x))...)
+	}
+}
+
+// appendArgs renders an args object preserving recorded key order.
+func appendArgs(dst []byte, args []KV) []byte {
+	dst = append(dst, '{')
+	for i, a := range args {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, quoteJSON(a.Key)...)
+		dst = append(dst, ':')
+		dst = appendValue(dst, a.Value)
+	}
+	return append(dst, '}')
+}
+
+// trackIDs assigns thread ids to tracks in order of first appearance,
+// which is deterministic because events are recorded in execution order.
+func trackIDs(events []Event) (order []string, ids map[string]int) {
+	ids = make(map[string]int)
+	for _, ev := range events {
+		if _, ok := ids[ev.Track]; !ok {
+			ids[ev.Track] = len(order)
+			order = append(order, ev.Track)
+		}
+	}
+	return order, ids
+}
+
+// WriteChromeTrace writes the buffer in Chrome trace-event JSON object
+// format. Virtual seconds map to trace microseconds.
+func (b *Buffer) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[` + "\n"); err != nil {
+		return err
+	}
+	order, ids := trackIDs(b.events)
+	line := make([]byte, 0, 256)
+	first := true
+	emit := func() error {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := bw.Write(line)
+		return err
+	}
+	// Name the process and each track.
+	line = append(line[:0], `{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"tgsim"}}`...)
+	if err := emit(); err != nil {
+		return err
+	}
+	for tid, name := range order {
+		line = line[:0]
+		line = append(line, `{"ph":"M","pid":1,"tid":`...)
+		line = strconv.AppendInt(line, int64(tid), 10)
+		line = append(line, `,"name":"thread_name","args":{"name":`...)
+		line = append(line, quoteJSON(name)...)
+		line = append(line, `}}`...)
+		if err := emit(); err != nil {
+			return err
+		}
+	}
+	for _, ev := range b.events {
+		line = line[:0]
+		line = append(line, `{"ph":"`...)
+		line = append(line, ev.Phase)
+		line = append(line, `","pid":1,"tid":`...)
+		line = strconv.AppendInt(line, int64(ids[ev.Track]), 10)
+		line = append(line, `,"ts":`...)
+		line = strconv.AppendFloat(line, float64(ev.At)*1e6, 'f', 3, 64)
+		line = append(line, `,"cat":`...)
+		line = append(line, quoteJSON(ev.Cat)...)
+		line = append(line, `,"name":`...)
+		line = append(line, quoteJSON(ev.Name)...)
+		if ev.Phase != PhaseInstant {
+			line = append(line, `,"id":`...)
+			line = strconv.AppendInt(line, ev.ID, 10)
+		} else {
+			// Instant scope "t": the event belongs to its thread/track.
+			line = append(line, `,"s":"t"`...)
+		}
+		if len(ev.Args) > 0 {
+			line = append(line, `,"args":`...)
+			line = appendArgs(line, ev.Args)
+		}
+		line = append(line, '}')
+		if err := emit(); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteJSONL writes one JSON object per event, one per line — the format
+// for ad-hoc processing with jq or a dataframe loader. Timestamps are
+// virtual seconds.
+func (b *Buffer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	line := make([]byte, 0, 256)
+	for _, ev := range b.events {
+		line = line[:0]
+		line = append(line, `{"t":`...)
+		line = strconv.AppendFloat(line, float64(ev.At), 'g', -1, 64)
+		line = append(line, `,"ph":"`...)
+		line = append(line, ev.Phase)
+		line = append(line, `","cat":`...)
+		line = append(line, quoteJSON(ev.Cat)...)
+		line = append(line, `,"name":`...)
+		line = append(line, quoteJSON(ev.Name)...)
+		line = append(line, `,"track":`...)
+		line = append(line, quoteJSON(ev.Track)...)
+		if ev.ID != 0 {
+			line = append(line, `,"id":`...)
+			line = strconv.AppendInt(line, ev.ID, 10)
+		}
+		if len(ev.Args) > 0 {
+			line = append(line, `,"args":`...)
+			line = appendArgs(line, ev.Args)
+		}
+		line = append(line, '}', '\n')
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

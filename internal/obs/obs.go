@@ -1,0 +1,104 @@
+// Package obs is the simulator's observability layer: structured span and
+// instant events for job lifecycles, scheduler decisions, data transfers,
+// gateway sessions and maintenance windows (exportable as Chrome
+// trace-event JSON or JSONL); virtual-time metric sampling into
+// metrics.TimeSeries with CSV export; and wall-clock kernel self-profiling
+// over the des.Tracer seam.
+//
+// The layer is strictly opt-in: every hook in the simulation nil-checks its
+// recorder, so a run without observability configured pays nothing.
+package obs
+
+import (
+	"github.com/tgsim/tgmod/internal/des"
+)
+
+// Event phases, mirroring the Chrome trace-event format ("ph" field).
+// Spans use the async begin/end pair correlated by (Cat, ID) so that
+// overlapping lifecycles on one track (many jobs on one machine) render
+// correctly in Perfetto.
+const (
+	PhaseBegin   byte = 'b' // async span begin
+	PhaseEnd     byte = 'e' // async span end
+	PhaseInstant byte = 'i' // instantaneous event
+)
+
+// KV is one ordered key/value argument attached to an event. Args are a
+// slice, not a map, so serialization order — and therefore exported trace
+// bytes — is deterministic.
+type KV struct {
+	Key   string
+	Value any // string, int, int64, or float64
+}
+
+// Event is one observability record.
+type Event struct {
+	At    des.Time // virtual time
+	Phase byte     // PhaseBegin, PhaseEnd, or PhaseInstant
+	Cat   string   // category: "job", "sched", "net", "gateway", "maint"
+	Name  string   // event or span name within the category
+	Track string   // rendered as a named thread/track (machine ID, "wan", ...)
+	ID    int64    // async span correlation id (job ID, transfer ID); 0 for instants
+	Args  []KV     // optional ordered arguments
+}
+
+// Recorder receives observability events. Implementations must be cheap:
+// recorders run inline with kernel event execution.
+type Recorder interface {
+	Record(ev Event)
+}
+
+// Begin records an async span begin. A nil recorder is a no-op, so call
+// sites do not need their own guards.
+func Begin(r Recorder, at des.Time, cat, name, track string, id int64, args ...KV) {
+	if r == nil {
+		return
+	}
+	r.Record(Event{At: at, Phase: PhaseBegin, Cat: cat, Name: name, Track: track, ID: id, Args: args})
+}
+
+// End records an async span end matching a prior Begin with the same
+// (cat, name, id).
+func End(r Recorder, at des.Time, cat, name, track string, id int64, args ...KV) {
+	if r == nil {
+		return
+	}
+	r.Record(Event{At: at, Phase: PhaseEnd, Cat: cat, Name: name, Track: track, ID: id, Args: args})
+}
+
+// Instant records a zero-duration event.
+func Instant(r Recorder, at des.Time, cat, name, track string, args ...KV) {
+	if r == nil {
+		return
+	}
+	r.Record(Event{At: at, Phase: PhaseInstant, Cat: cat, Name: name, Track: track, Args: args})
+}
+
+// Buffer is the standard in-memory Recorder. Events are appended in
+// execution order, which the single-threaded kernel makes deterministic.
+type Buffer struct {
+	events []Event
+}
+
+// NewBuffer returns an empty buffer.
+func NewBuffer() *Buffer { return &Buffer{} }
+
+// Record implements Recorder.
+func (b *Buffer) Record(ev Event) { b.events = append(b.events, ev) }
+
+// Len returns the number of recorded events.
+func (b *Buffer) Len() int { return len(b.events) }
+
+// Events returns the recorded events in execution order. The slice is the
+// buffer's backing store; callers must not mutate it.
+func (b *Buffer) Events() []Event { return b.events }
+
+// Multi fans one event stream out to several recorders.
+type Multi []Recorder
+
+// Record implements Recorder.
+func (m Multi) Record(ev Event) {
+	for _, r := range m {
+		r.Record(ev)
+	}
+}

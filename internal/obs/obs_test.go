@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/tgsim/tgmod/internal/des"
+)
+
+func sampleEvents() *Buffer {
+	b := NewBuffer()
+	Begin(b, 0.5, "job", "wait", "m1", 1, KV{Key: "user", Value: "alice"}, KV{Key: "cores", Value: 8})
+	End(b, 2, "job", "wait", "m1", 1)
+	Begin(b, 2, "job", "run", "m1", 1, KV{Key: "cores", Value: 8})
+	End(b, 10.25, "job", "run", "m1", 1, KV{Key: "state", Value: "completed"})
+	Begin(b, 3, "net", "transfer", "wan", 7, KV{Key: "src", Value: "a"}, KV{Key: "dst", Value: "b"}, KV{Key: "bytes", Value: int64(1 << 30)})
+	End(b, 9, "net", "transfer", "wan", 7)
+	Instant(b, 4, "gateway", "request", "nanohub", KV{Key: "user", Value: `quo"ted`}, KV{Key: "attributed", Value: true})
+	return b
+}
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	// Must not panic.
+	Begin(nil, 1, "job", "wait", "m", 1)
+	End(nil, 1, "job", "wait", "m", 1)
+	Instant(nil, 1, "job", "x", "m")
+}
+
+func TestChromeTraceRoundTrips(t *testing.T) {
+	b := sampleEvents()
+	var out bytes.Buffer
+	if err := b.WriteChromeTrace(&out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, out.String())
+	}
+	// process_name + 3 thread_name metadata events + 7 payload events.
+	if got, want := len(doc.TraceEvents), 1+3+7; got != want {
+		t.Fatalf("trace has %d events, want %d", got, want)
+	}
+	var tracks []string
+	for _, ev := range doc.TraceEvents {
+		if ev["name"] == "thread_name" {
+			args := ev["args"].(map[string]any)
+			tracks = append(tracks, args["name"].(string))
+		}
+	}
+	if got, want := strings.Join(tracks, ","), "m1,wan,nanohub"; got != want {
+		t.Errorf("track order = %q, want %q (first appearance order)", got, want)
+	}
+	// Timestamps are microseconds.
+	first := doc.TraceEvents[4]
+	if first["ts"].(float64) != 0.5e6 {
+		t.Errorf("first payload ts = %v, want 5e5 µs", first["ts"])
+	}
+	// Async span fields present.
+	if first["ph"] != "b" || first["cat"] != "job" {
+		t.Errorf("span event malformed: %v", first)
+	}
+}
+
+func TestChromeTraceDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := sampleEvents().WriteChromeTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sampleEvents().WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("identical event streams serialized to different bytes")
+	}
+}
+
+func TestJSONLEveryLineValid(t *testing.T) {
+	b := sampleEvents()
+	var out bytes.Buffer
+	if err := b.WriteJSONL(&out); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&out)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var obj map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("line %d invalid JSON: %v: %s", lines, err, sc.Text())
+		}
+		for _, key := range []string{"t", "ph", "cat", "name", "track"} {
+			if _, ok := obj[key]; !ok {
+				t.Fatalf("line %d missing %q: %s", lines, key, sc.Text())
+			}
+		}
+	}
+	if lines != b.Len() {
+		t.Errorf("JSONL lines = %d, want %d", lines, b.Len())
+	}
+}
+
+func TestSampler(t *testing.T) {
+	k := des.New()
+	depth := 0.0
+	sm := NewSampler(10)
+	sm.Register("queues", "m1", func() float64 { return depth })
+	sm.Register("queues", "m2", func() float64 { return depth * 2 })
+	sm.Start(k)
+	k.Schedule(15, func(*des.Kernel) { depth = 3 })
+	k.RunUntil(40)
+	if sm.Samples() != 4 {
+		t.Fatalf("samples = %d, want 4", sm.Samples())
+	}
+	ts := sm.Series("queues", "m1")
+	if ts == nil {
+		t.Fatal("missing series")
+	}
+	// Samples at t=10 (depth 0), 20, 30, 40 (depth 3).
+	if ts.Mean(1) != 0 || ts.Mean(2) != 3 {
+		t.Errorf("series means = %v, %v, want 0, 3", ts.Mean(1), ts.Mean(2))
+	}
+	var out bytes.Buffer
+	if err := sm.WriteCSV("queues", &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	want := "time_s,m1,m2\n10,0,0\n20,3,6\n30,3,6\n40,3,6\n"
+	if got != want {
+		t.Errorf("CSV:\n%s\nwant:\n%s", got, want)
+	}
+	if err := sm.WriteCSV("nope", &out); err == nil {
+		t.Error("unknown group accepted")
+	}
+}
+
+func TestKernelProfiler(t *testing.T) {
+	k := des.New()
+	p := NewKernelProfiler(k)
+	p.Install()
+	for i := 0; i < 50; i++ {
+		k.ScheduleNamed(des.Time(i), "tick", func(*des.Kernel) {
+			time.Sleep(10 * time.Microsecond)
+		})
+	}
+	k.Schedule(100, func(*des.Kernel) {})
+	k.Run()
+	if p.Events() != 51 {
+		t.Fatalf("profiled %d events, want 51", p.Events())
+	}
+	if p.FELHighWater() != 51 {
+		t.Errorf("FEL high-water = %d, want 51", p.FELHighWater())
+	}
+	if p.EventsPerSec() <= 0 {
+		t.Errorf("events/sec = %v, want > 0", p.EventsPerSec())
+	}
+	tab := p.Table()
+	// Two event names ("tick", anonymous) plus the TOTAL row.
+	if tab.Rows() != 3 {
+		t.Fatalf("profile rows = %d, want 3:\n%s", tab.Rows(), tab)
+	}
+	// "tick" dominates wall time, so it sorts first.
+	if got := tab.Cell(0, 0); got != "tick" {
+		t.Errorf("heaviest event = %q, want \"tick\"", got)
+	}
+	if got := tab.Cell(2, 0); got != "TOTAL" {
+		t.Errorf("last row = %q, want TOTAL", got)
+	}
+	if !strings.Contains(p.Summary(), "51 events") {
+		t.Errorf("summary %q missing event count", p.Summary())
+	}
+}

@@ -1,0 +1,143 @@
+// Kernel self-profiling: wall-clock cost of the simulation itself, keyed
+// by event name. The profiler sits on the des.Tracer seam (Event fires
+// before each handler, AfterEvent after), so per-name wall time is the
+// handler execution cost, and throughput is events per wall-clock second.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/tgsim/tgmod/internal/des"
+	"github.com/tgsim/tgmod/internal/report"
+)
+
+// evStat accumulates one event name's cost.
+type evStat struct {
+	count uint64
+	wall  time.Duration
+}
+
+// KernelProfiler measures where wall-clock time goes inside a kernel run.
+// Install it with Install (or des.Kernel.SetTracer); it implements both
+// des.Tracer and des.StepObserver.
+type KernelProfiler struct {
+	k         *des.Kernel
+	stats     map[string]*evStat
+	wallStart time.Time
+	wallEnd   time.Time
+	evStart   time.Time
+	events    uint64
+	pendingHW int
+}
+
+// NewKernelProfiler returns a profiler for kernel k.
+func NewKernelProfiler(k *des.Kernel) *KernelProfiler {
+	return &KernelProfiler{k: k, stats: make(map[string]*evStat)}
+}
+
+// Install makes the profiler the kernel's tracer.
+func (p *KernelProfiler) Install() { p.k.SetTracer(p) }
+
+// Event implements des.Tracer: stamp the handler start.
+func (p *KernelProfiler) Event(at des.Time, name string) {
+	now := time.Now()
+	if p.events == 0 {
+		p.wallStart = now
+	}
+	p.evStart = now
+}
+
+// AfterEvent implements des.StepObserver: charge the elapsed wall time to
+// the event's name and track the future-event-list high-water mark.
+func (p *KernelProfiler) AfterEvent(at des.Time, name string, pending int) {
+	now := time.Now()
+	p.wallEnd = now
+	p.events++
+	if pending > p.pendingHW {
+		p.pendingHW = pending
+	}
+	st := p.stats[name]
+	if st == nil {
+		st = &evStat{}
+		p.stats[name] = st
+	}
+	st.count++
+	st.wall += now.Sub(p.evStart)
+}
+
+// Events returns the number of profiled events.
+func (p *KernelProfiler) Events() uint64 { return p.events }
+
+// WallSeconds returns the wall-clock span from the first to the last
+// profiled event.
+func (p *KernelProfiler) WallSeconds() float64 {
+	if p.events == 0 {
+		return 0
+	}
+	return p.wallEnd.Sub(p.wallStart).Seconds()
+}
+
+// EventsPerSec returns the wall-clock event throughput.
+func (p *KernelProfiler) EventsPerSec() float64 {
+	w := p.WallSeconds()
+	if w <= 0 {
+		return 0
+	}
+	return float64(p.events) / w
+}
+
+// FELHighWater returns the largest pending-event count observed at any
+// event boundary.
+func (p *KernelProfiler) FELHighWater() int {
+	if hw := p.k.MaxPending(); hw > p.pendingHW {
+		return hw
+	}
+	return p.pendingHW
+}
+
+// Summary returns the one-line profile header.
+func (p *KernelProfiler) Summary() string {
+	return fmt.Sprintf("kernel: %d events in %.3fs wall (%s events/s), FEL high-water %s",
+		p.events, p.WallSeconds(),
+		report.FormatFloat(p.EventsPerSec()), report.GroupInt(int64(p.FELHighWater())))
+}
+
+// Table renders the per-event-name cost table, heaviest first, with a
+// trailing TOTAL row.
+func (p *KernelProfiler) Table() *report.Table {
+	t := report.NewTable("Kernel self-profile (wall clock)",
+		"event", "count", "wall ms", "mean µs", "share")
+	names := make([]string, 0, len(p.stats))
+	var total time.Duration
+	for n, st := range p.stats {
+		names = append(names, n)
+		total += st.wall
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, b := p.stats[names[i]], p.stats[names[j]]
+		if a.wall != b.wall {
+			return a.wall > b.wall
+		}
+		return names[i] < names[j]
+	})
+	for _, n := range names {
+		st := p.stats[n]
+		label := n
+		if label == "" {
+			label = "(anonymous)"
+		}
+		share := 0.0
+		if total > 0 {
+			share = float64(st.wall) / float64(total)
+		}
+		t.AddRowf(label, int64(st.count),
+			fmt.Sprintf("%.2f", float64(st.wall)/1e6),
+			fmt.Sprintf("%.2f", float64(st.wall)/1e3/float64(st.count)),
+			report.Percent(share))
+	}
+	t.AddRowf("TOTAL", int64(p.events),
+		fmt.Sprintf("%.2f", float64(total)/1e6), "", "")
+	return t
+}

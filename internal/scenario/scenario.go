@@ -18,6 +18,7 @@ import (
 	"github.com/tgsim/tgmod/internal/job"
 	"github.com/tgsim/tgmod/internal/metasched"
 	"github.com/tgsim/tgmod/internal/network"
+	"github.com/tgsim/tgmod/internal/obs"
 	"github.com/tgsim/tgmod/internal/sched"
 	"github.com/tgsim/tgmod/internal/simrand"
 	"github.com/tgsim/tgmod/internal/storage"
@@ -77,6 +78,26 @@ type GatewayConfig struct {
 	AttrCoverage float64 // probability of per-request end-user attributes
 }
 
+// Observe configures the optional observability layer. The zero value
+// turns everything off: no recorder hooks are installed, no sampler ticks,
+// and the kernel keeps a nil tracer, so an unobserved run pays nothing.
+type Observe struct {
+	// Recorder receives job-lifecycle spans plus scheduler-decision,
+	// data-transfer, gateway-session, and maintenance events. Nil disables
+	// span tracing.
+	Recorder obs.Recorder
+	// SamplePeriod, when positive, samples per-machine queue depth and
+	// utilization plus federation-wide gauges every period of virtual time.
+	SamplePeriod des.Time
+	// Profile, when true, installs a wall-clock kernel self-profiler.
+	Profile bool
+}
+
+// Enabled reports whether any observability feature is requested.
+func (o Observe) Enabled() bool {
+	return o.Recorder != nil || o.SamplePeriod > 0 || o.Profile
+}
+
 // Config parameterizes a full simulation.
 type Config struct {
 	Seed    uint64
@@ -108,6 +129,8 @@ type Config struct {
 	MaintenanceLength des.Time
 	// Federation override; nil means TG9.
 	Federation *grid.Federation
+	// Observe configures the observability layer (zero value = off).
+	Observe Observe
 }
 
 // DefaultConfig returns a one-quarter simulation with the standard
@@ -173,6 +196,11 @@ type Result struct {
 	// LargestCores is the batch-core count of the biggest machine, for
 	// classifier configuration.
 	LargestCores int
+	// Sampler holds the virtual-time metric series (nil unless
+	// Observe.SamplePeriod was set).
+	Sampler *obs.Sampler
+	// Profiler holds the kernel self-profile (nil unless Observe.Profile).
+	Profiler *obs.KernelProfiler
 }
 
 // Run builds and executes the simulation described by cfg.
@@ -189,6 +217,12 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("scenario: non-positive horizon")
 	}
 	k := des.New()
+	rec := cfg.Observe.Recorder
+	var profiler *obs.KernelProfiler
+	if cfg.Observe.Profile {
+		profiler = obs.NewKernelProfiler(k)
+		profiler.Install()
+	}
 
 	// Network and storage.
 	topo := network.NewTopology()
@@ -290,6 +324,12 @@ func Run(cfg Config) (*Result, error) {
 				tracker.JobFinished(e.Job)
 			}
 		})
+		if rec != nil {
+			installJobSpans(rec, k, s)
+		}
+	}
+	if rec != nil {
+		installTransferSpans(rec, k, fabric)
 	}
 
 	// Recurring preventive maintenance, staggered per machine.
@@ -307,7 +347,7 @@ func Run(cfg Config) (*Result, error) {
 					return
 				}
 				if err := s.ScheduleOutage(start, start+cfg.MaintenanceLength); err == nil {
-					k.At(start+cfg.MaintenanceLength, func(*des.Kernel) {
+					k.AtNamed(start+cfg.MaintenanceLength, "maint-announce", func(*des.Kernel) {
 						announce(start + cfg.MaintenanceEvery)
 					})
 				}
@@ -345,6 +385,9 @@ func Run(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		if rec != nil {
+			installGatewaySpans(rec, k, gw)
+		}
 		gateways[gc.ID] = gw
 	}
 
@@ -364,7 +407,7 @@ func Run(cfg Config) (*Result, error) {
 		return nil
 	}
 	if cfg.ReportInterval > 0 {
-		k.Every(cfg.ReportInterval, func(*des.Kernel) {
+		k.EveryNamed(cfg.ReportInterval, "acct-flush", func(*des.Kernel) {
 			if err := flushAll(); err != nil {
 				panic("scenario: accounting flush: " + err.Error())
 			}
@@ -397,6 +440,14 @@ func Run(cfg Config) (*Result, error) {
 		g.Start(env)
 	}
 
+	// Virtual-time metric sampling, armed last so the first tick sees the
+	// fully assembled federation.
+	var sampler *obs.Sampler
+	if cfg.Observe.SamplePeriod > 0 {
+		sampler = buildSampler(cfg.Observe.SamplePeriod, k, fed, scheds, fabric, bank, &finished)
+		sampler.Start(k)
+	}
+
 	// Run to the horizon plus drain, then final flush.
 	k.RunUntil(cfg.Horizon + cfg.DrainTime)
 	if err := flushAll(); err != nil {
@@ -407,7 +458,7 @@ func Run(cfg Config) (*Result, error) {
 		Config: cfg, Kernel: k, Federation: fed, Central: central, Bank: bank,
 		Schedulers: scheds, Broker: broker, Gateways: gateways, Fabric: fabric,
 		Archives: archives, Population: pop, Finished: finished,
-		LargestCores: largest,
+		LargestCores: largest, Sampler: sampler, Profiler: profiler,
 	}, nil
 }
 

@@ -86,6 +86,22 @@ func (k EventKind) String() string {
 // Listener receives job lifecycle events.
 type Listener func(Event)
 
+// Probe receives scheduler-internal decision notifications that the
+// lifecycle Listener seam cannot express: backfill placements, urgent
+// preemption victim selection, reservation activations, and maintenance
+// window boundaries. The job is nil for machine-level events. A nil probe
+// costs one comparison per decision.
+type Probe func(kind string, j *job.Job)
+
+// Probe decision kinds.
+const (
+	ProbeBackfill      = "backfill"       // job started ahead of the queue head
+	ProbePreemptVictim = "preempt-victim" // job preempted for an urgent arrival
+	ProbeReservation   = "reservation"    // advance reservation activated
+	ProbeOutageBegin   = "outage-begin"   // maintenance window opened
+	ProbeOutageEnd     = "outage-end"     // maintenance window closed
+)
+
 // outage is a maintenance window: no batch work may execute during it.
 type outage struct {
 	start, end des.Time
@@ -138,6 +154,8 @@ type Scheduler struct {
 	outages  []*outage
 
 	listeners []Listener
+	// Probe, when non-nil, observes scheduler-internal decisions.
+	Probe Probe
 
 	// Statistics.
 	busyIntegral float64  // core-seconds of batch occupancy
@@ -180,6 +198,12 @@ func (s *Scheduler) Subscribe(l Listener) { s.listeners = append(s.listeners, l)
 func (s *Scheduler) emit(kind EventKind, j *job.Job) {
 	for _, l := range s.listeners {
 		l(Event{Kind: kind, Job: j})
+	}
+}
+
+func (s *Scheduler) probe(kind string, j *job.Job) {
+	if s.Probe != nil {
+		s.Probe(kind, j)
 	}
 }
 
@@ -325,6 +349,7 @@ func (s *Scheduler) ScheduleOutage(start, end des.Time) error {
 	o := &outage{start: start, end: end}
 	s.outages = append(s.outages, o)
 	s.K.AtNamed(start, "outage-start", func(*des.Kernel) {
+		s.probe(ProbeOutageBegin, nil)
 		// Preempt stragglers (only possible when the outage was announced
 		// with less lead time than running walltimes).
 		var victims []*running
@@ -339,6 +364,7 @@ func (s *Scheduler) ScheduleOutage(start, end des.Time) error {
 		}
 	})
 	s.K.AtNamed(end, "outage-end", func(*des.Kernel) {
+		s.probe(ProbeOutageEnd, nil)
 		for i, oo := range s.outages {
 			if oo == o {
 				s.outages = append(s.outages[:i], s.outages[i+1:]...)
@@ -487,6 +513,7 @@ func (s *Scheduler) scheduleEASY() {
 		}
 		if s.startableNow(p, cand) {
 			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			s.probe(ProbeBackfill, cand)
 			s.startBatch(cand, "")
 			p.subtract(now, now+cand.ReqWalltime, cand.Cores)
 			if s.freeBatch == 0 {
@@ -656,6 +683,7 @@ func (s *Scheduler) preempt(r *running) {
 	j.State = job.StatePreempted
 	j.Preemptions++
 	s.preemptions++
+	s.probe(ProbePreemptVictim, j)
 	s.emit(EventPreempted, j)
 	// Requeue at the head, preserving the original submit time so
 	// accumulated wait is reflected in metrics.
@@ -774,6 +802,7 @@ func (s *Scheduler) activateReservation(rv *reservation) {
 		if rv.claim.ReqWalltime > rv.end-rv.start {
 			rv.claim.ReqWalltime = rv.end - rv.start
 		}
+		s.probe(ProbeReservation, rv.claim)
 		s.startBatch(rv.claim, rv.id)
 	}
 	s.reschedule()

@@ -191,7 +191,7 @@ func (s *Stager) Staged() uint64 { return s.staged }
 func (s *Stager) Stage(src, dst string, bytes int64, user, project string, jobID int64, done func()) error {
 	if bytes <= 0 {
 		if done != nil {
-			s.K.Schedule(0, func(*des.Kernel) { done() })
+			s.K.ScheduleNamed(0, "stage-empty", func(*des.Kernel) { done() })
 		}
 		return nil
 	}

@@ -36,7 +36,7 @@ func (g *BatchGen) Start(e *Env) {
 	// to one or two resources.
 	favorite := make(map[string]string)
 	rate := g.JobsPerDay / 86400
-	PoissonArrivals(e, rng, rate, func() {
+	PoissonArrivals(e, rng, rate, "arrival-batch", func() {
 		u := pick.Pick(rng)
 		m, ok := favorite[u.Name]
 		if !ok {
@@ -127,7 +127,7 @@ func (g *EnsembleGen) Start(e *Env) {
 	machines := e.Machines()
 	campaignN := 0
 	rate := g.CampaignsPerDay / 86400
-	PoissonArrivals(e, rng, rate, func() {
+	PoissonArrivals(e, rng, rate, "arrival-ensemble", func() {
 		u := pick.Pick(rng)
 		m := machines[rng.Intn(len(machines))]
 		maxCores := e.Sched[m].M.BatchCores()
@@ -158,7 +158,7 @@ func (g *EnsembleGen) Start(e *Env) {
 			delay := des.Time(float64(i) * (1 + rng.Float64()*10))
 			jj := j
 			mm := m
-			e.K.Schedule(delay, func(*des.Kernel) {
+			e.K.ScheduleNamed(delay, "ens-submit", func(*des.Kernel) {
 				if err := e.SubmitDirect(mm, "login", jj); err != nil {
 					panic(err)
 				}
@@ -195,7 +195,7 @@ func (g *InteractiveGen) Start(e *Env) {
 		return
 	}
 	rate := g.SessionsPerDay / 86400
-	PoissonArrivals(e, rng, rate, func() {
+	PoissonArrivals(e, rng, rate, "arrival-interactive", func() {
 		u := pick.Pick(rng)
 		m := vizMachines[rng.Intn(len(vizMachines))]
 		run := DrawRuntime(rng, g.MedianSession, 0.7)
@@ -248,7 +248,7 @@ func (g *UrgentGen) Start(e *Env) {
 		return
 	}
 	rate := g.EventsPerWeek / float64(des.Week)
-	PoissonArrivals(e, rng, rate, func() {
+	PoissonArrivals(e, rng, rate, "arrival-urgent", func() {
 		u := pick.Pick(rng)
 		m := capable[rng.Intn(len(capable))]
 		run := DrawRuntime(rng, g.MedianRuntime, 0.5)

@@ -37,7 +37,7 @@ func (g *WorkflowGen) Start(e *Env) {
 	machines := e.Machines()
 	n := 0
 	rate := g.CampaignsPerDay / 86400
-	PoissonArrivals(e, rng, rate, func() {
+	PoissonArrivals(e, rng, rate, "arrival-workflow", func() {
 		u := pick.Pick(rng)
 		m := machines[rng.Intn(len(machines))]
 		s := e.Sched[m]
@@ -147,7 +147,7 @@ func (g *GatewayGen) Start(e *Env) {
 	// Zipf over the end-user population: a few power users, a long tail.
 	zipf := simrand.NewZipf(g.EndUsers, 1.1)
 	peak := g.RequestsPerDay / 86400
-	PoissonArrivals(e, rng, peak, func() {
+	PoissonArrivals(e, rng, peak, "arrival-"+g.Name(), func() {
 		// Linear ramp: early in the horizon most arrivals are thinned out,
 		// modeling community adoption growth.
 		frac := 0.1 + 0.9*float64(e.K.Now())/float64(e.Horizon)
@@ -198,7 +198,7 @@ func (g *DataCentricGen) Start(e *Env) {
 	}
 	machines := e.Machines()
 	rate := g.JobsPerDay / 86400
-	PoissonArrivals(e, rng, rate, func() {
+	PoissonArrivals(e, rng, rate, "arrival-data", func() {
 		u := pick.Pick(rng)
 		m := machines[rng.Intn(len(machines))]
 		s := e.Sched[m]
@@ -271,7 +271,7 @@ func (g *MetaschedGen) Start(e *Env) {
 		return
 	}
 	rate := g.JobsPerDay / 86400
-	PoissonArrivals(e, rng, rate, func() {
+	PoissonArrivals(e, rng, rate, "arrival-metasched", func() {
 		u := pick.Pick(rng)
 		mk := func(coresHi int) *job.Job {
 			run := DrawRuntime(rng, g.MedianRuntime, 0.8)

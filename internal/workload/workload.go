@@ -178,15 +178,17 @@ func DiurnalRate(at des.Time, base float64) float64 {
 // PoissonArrivals schedules fn at exponentially spaced times with a
 // diurnally modulated rate (events/second at weekday peak) until the
 // horizon. It uses thinning: draws at the peak rate and accepts with
-// probability rate(t)/peak.
-func PoissonArrivals(e *Env, rng *simrand.Stream, peakRate float64, fn func()) {
+// probability rate(t)/peak. The name labels every arrival event in kernel
+// traces and the self-profiler (generators pass "arrival-<name>"), so the
+// hottest event class in any simulation is attributable per generator.
+func PoissonArrivals(e *Env, rng *simrand.Stream, peakRate float64, name string, fn func()) {
 	if peakRate <= 0 {
 		panic("workload: non-positive arrival rate")
 	}
 	var arm func()
 	arm = func() {
 		dt := des.Time(rng.Exp(peakRate))
-		e.K.Schedule(dt, func(k *des.Kernel) {
+		e.K.ScheduleNamed(dt, name, func(k *des.Kernel) {
 			if k.Now() >= e.Horizon {
 				return
 			}

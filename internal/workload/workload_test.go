@@ -99,7 +99,7 @@ func TestPoissonArrivalsStopAtHorizon(t *testing.T) {
 	rng := simrand.New(4)
 	count := 0
 	last := des.Time(0)
-	PoissonArrivals(e, rng, 0.1, func() {
+	PoissonArrivals(e, rng, 0.1, "arrival-test", func() {
 		count++
 		last = k.Now()
 	})
@@ -119,7 +119,7 @@ func TestPoissonArrivalsPanicsOnBadRate(t *testing.T) {
 		}
 	}()
 	k := des.New()
-	PoissonArrivals(&Env{K: k, Horizon: 10}, simrand.New(1), 0, func() {})
+	PoissonArrivals(&Env{K: k, Horizon: 10}, simrand.New(1), 0, "arrival-test", func() {})
 }
 
 func TestTracker(t *testing.T) {
