@@ -6,7 +6,10 @@
 //
 // Usage:
 //
-//	benchtab [-seed N] [-scale quick|full] [-only T3]
+//	benchtab [-seed N] [-scale quick|full] [-only T3] [-progress]
+//
+// -progress prints one line per experiment to stderr (id and wall time)
+// without touching stdout, so piped table output stays clean.
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/tgsim/tgmod/internal/experiments"
 )
@@ -29,6 +33,7 @@ func run() error {
 	seed := flag.Uint64("seed", 7, "experiment seed")
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. T3,F4); empty = all")
+	progress := flag.Bool("progress", false, "print per-experiment progress to stderr")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -79,7 +84,14 @@ func run() error {
 		if !selected(g.id) {
 			continue
 		}
+		if *progress {
+			fmt.Fprintf(os.Stderr, "benchtab: %s...", g.id)
+		}
+		start := time.Now()
 		out, err := g.run()
+		if *progress {
+			fmt.Fprintf(os.Stderr, " %.2fs\n", time.Since(start).Seconds())
+		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", g.id, err)
 		}

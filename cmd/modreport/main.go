@@ -5,13 +5,17 @@
 //
 // Usage:
 //
-//	modreport -trace trace.jsonl [-largest-cores N] [-csv]
+//	modreport -trace trace.jsonl [-largest-cores N] [-csv] [-explain]
+//
+// -explain prints classification provenance: one line per job naming the
+// evidence rule that fired, followed by per-rule firing counts.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"github.com/tgsim/tgmod/internal/accounting"
 	"github.com/tgsim/tgmod/internal/core"
@@ -31,6 +35,7 @@ func run() error {
 	swfPath := flag.String("swf", "", "Standard Workload Format trace to analyze instead")
 	largest := flag.Int("largest-cores", 0, "batch cores of the largest machine (0 = infer from records)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	explain := flag.Bool("explain", false, "print per-job classification provenance and rule firing counts")
 	flag.Parse()
 	if (*tracePath == "") == (*swfPath == "") {
 		return fmt.Errorf("exactly one of -trace or -swf is required")
@@ -119,5 +124,38 @@ func run() error {
 		fmt.Printf("\nGateway visibility: %d jobs, %d community accounts, %d recovered end users\n",
 			v.GatewayJobs, v.CommunityAccounts, v.RecoveredEndUsers)
 	}
+	if *explain {
+		writeExplain(os.Stdout, results)
+	}
 	return nil
+}
+
+// writeExplain prints per-job provenance (which evidence rule classified
+// each record) followed by an aggregate firing-count table sorted by count.
+func writeExplain(w *os.File, results []core.Result) {
+	fmt.Fprintf(w, "\nClassification provenance (%d jobs)\n", len(results))
+	counts := map[string]int{}
+	for _, res := range results {
+		camp := ""
+		if res.CampaignID != "" {
+			camp = "  campaign=" + res.CampaignID
+		}
+		fmt.Fprintf(w, "  job %-8d %-18s source=%-10s evidence=%s%s\n",
+			res.JobID, res.Modality, res.Source, res.Evidence, camp)
+		counts[res.Evidence]++
+	}
+	rules := make([]string, 0, len(counts))
+	for r := range counts {
+		rules = append(rules, r)
+	}
+	sort.Slice(rules, func(a, b int) bool {
+		if counts[rules[a]] != counts[rules[b]] {
+			return counts[rules[a]] > counts[rules[b]]
+		}
+		return rules[a] < rules[b]
+	})
+	fmt.Fprintf(w, "\nRule firing counts\n")
+	for _, r := range rules {
+		fmt.Fprintf(w, "  %-26s %d\n", r, counts[r])
+	}
 }

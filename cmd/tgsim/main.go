@@ -9,10 +9,12 @@
 //	      [-trace out.jsonl] [-csv-dir DIR] [-config cfg.json] [-dump-config cfg.json]
 //	      [-maintenance-every D] [-quiet]
 //	      [-chrome-trace t.json] [-obs-jsonl t.jsonl] [-obs-csv DIR]
-//	      [-obs-sample-hours H] [-profile]
+//	      [-obs-sample-hours H] [-obs-max-events N] [-profile]
+//	      [-http :PORT] [-progress]
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +26,7 @@ import (
 	"github.com/tgsim/tgmod/internal/obs"
 	"github.com/tgsim/tgmod/internal/report"
 	"github.com/tgsim/tgmod/internal/scenario"
+	"github.com/tgsim/tgmod/internal/telemetry"
 )
 
 func main() {
@@ -48,7 +51,10 @@ func run() error {
 	obsJSONL := flag.String("obs-jsonl", "", "write the span event stream as JSON lines to this file")
 	obsCSV := flag.String("obs-csv", "", "write virtual-time metric CSVs (queue depth, utilization, ...) into this directory")
 	obsSampleHours := flag.Float64("obs-sample-hours", 1, "metric sampling period in virtual hours (with -obs-csv)")
+	obsMaxEvents := flag.Int("obs-max-events", 0, "cap the in-memory span buffer at N events (0 = unbounded); overflow is counted and dropped")
 	profile := flag.Bool("profile", false, "print the kernel self-profile (wall-clock cost per event name) after the run")
+	httpAddr := flag.String("http", "", "serve the live run console (dashboard /, /status JSON, /metrics OpenMetrics) on this address, e.g. :8080")
+	progress := flag.Bool("progress", false, "print a live one-line progress snapshot to stderr")
 	flag.Parse()
 
 	var cfg scenario.Config
@@ -83,7 +89,7 @@ func run() error {
 	// Observability applies regardless of where the config came from.
 	var spans *obs.Buffer
 	if *chromeTrace != "" || *obsJSONL != "" {
-		spans = obs.NewBuffer()
+		spans = obs.NewBufferCap(*obsMaxEvents)
 		cfg.Observe.Recorder = spans
 	}
 	if *obsCSV != "" {
@@ -93,6 +99,43 @@ func run() error {
 		cfg.Observe.SamplePeriod = des.Time(*obsSampleHours) * des.Hour
 	}
 	cfg.Observe.Profile = *profile
+
+	// Live telemetry: the registry feeds the run console's /metrics; the
+	// snapshot sink feeds both the console and the stderr progress line.
+	// Everything runs on the simulation goroutine — the HTTP server only
+	// reads published immutable snapshots.
+	var reg *telemetry.Registry
+	var console *telemetry.Console
+	if *httpAddr != "" || *progress {
+		reg = telemetry.New()
+		cfg.Observe.Registry = reg
+	}
+	if *httpAddr != "" {
+		console = telemetry.NewConsole()
+		addr, err := console.Serve(*httpAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "tgsim: live run console on http://%s/\n", addr)
+	}
+	if reg != nil {
+		showProgress := *progress
+		cfg.Observe.Snapshots = func(s *telemetry.Snapshot) {
+			if console != nil {
+				var buf bytes.Buffer
+				if err := reg.WriteOpenMetrics(&buf); err == nil {
+					console.Update(s, buf.Bytes())
+				}
+			}
+			if showProgress {
+				if s.Done {
+					fmt.Fprintf(os.Stderr, "\r\x1b[K%s\n", s.Line())
+				} else {
+					fmt.Fprintf(os.Stderr, "\r\x1b[K%s", s.Line())
+				}
+			}
+		}
+	}
 
 	if *dumpConfig != "" {
 		cf, err := scenario.FromConfig(cfg)
@@ -132,6 +175,10 @@ func run() error {
 	}
 
 	// Observability exports.
+	if spans != nil && spans.Dropped() > 0 {
+		fmt.Fprintf(os.Stderr, "tgsim: span buffer cap reached: %d events dropped (raise -obs-max-events)\n",
+			spans.Dropped())
+	}
 	if spans != nil && *chromeTrace != "" {
 		if err := writeTo(*chromeTrace, spans.WriteChromeTrace); err != nil {
 			return err

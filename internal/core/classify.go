@@ -14,9 +14,32 @@ type Result struct {
 	Modality job.Modality
 	// Source records which evidence tier decided the classification.
 	Source Source
+	// Evidence names the specific rule that fired within the tier, e.g.
+	// "attr:gateway-id" or "infer:burst". Tags are stable identifiers used
+	// by modreport -explain.
+	Evidence string
 	// Inferred campaign grouping (for ensemble/workflow inference).
 	CampaignID string
 }
+
+// Evidence tags, one per decision branch of Classify. The prefix names the
+// tier ("qos"/"attr"/"acct" are direct evidence, "infer" is behavioral).
+const (
+	EvQOSUrgent       = "qos:urgent"
+	EvQOSInteractive  = "qos:interactive"
+	EvGatewayID       = "attr:gateway-id"
+	EvSubmitVia       = "attr:submit-via"
+	EvGatewayUserRec  = "attr:gateway-user-record"
+	EvCoAllocID       = "attr:coalloc-id"
+	EvBrokerID        = "attr:broker-id"
+	EvWorkflowID      = "attr:workflow-id"
+	EvEnsembleID      = "attr:ensemble-id"
+	EvStagedBytes     = "acct:staged-bytes"
+	EvBurst           = "infer:burst"
+	EvChain           = "infer:chain"
+	EvCapabilitySize  = "acct:capability-size"
+	EvDefaultCapacity = "acct:default"
+)
 
 // Config tunes the classifier. Zero values are replaced by defaults.
 type Config struct {
@@ -102,21 +125,37 @@ func (cl *Classifier) Classify(c *accounting.Central) []Result {
 		res := Result{JobID: r.JobID}
 		switch {
 		case r.QOS == "urgent":
-			res.Modality, res.Source = job.ModUrgent, SourceAccounting
+			res.Modality, res.Source, res.Evidence = job.ModUrgent, SourceAccounting, EvQOSUrgent
 		case r.QOS == "interactive":
-			res.Modality, res.Source = job.ModInteractive, SourceAccounting
+			res.Modality, res.Source, res.Evidence = job.ModInteractive, SourceAccounting, EvQOSInteractive
 		case r.GatewayID != "" || r.SubmitVia == "gateway" || gwAttr[r.JobID]:
 			res.Modality, res.Source = job.ModGateway, SourceAttribute
+			switch {
+			case r.GatewayID != "":
+				res.Evidence = EvGatewayID
+			case r.SubmitVia == "gateway":
+				res.Evidence = EvSubmitVia
+			default:
+				res.Evidence = EvGatewayUserRec
+			}
 		case r.CoAllocID != "" || r.BrokerJobID != "" || r.SubmitVia == "metasched":
 			res.Modality, res.Source = job.ModMetascheduled, SourceAttribute
+			switch {
+			case r.CoAllocID != "":
+				res.Evidence = EvCoAllocID
+			case r.BrokerJobID != "":
+				res.Evidence = EvBrokerID
+			default:
+				res.Evidence = EvSubmitVia
+			}
 		case r.WorkflowID != "":
-			res.Modality, res.Source = job.ModWorkflow, SourceAttribute
+			res.Modality, res.Source, res.Evidence = job.ModWorkflow, SourceAttribute, EvWorkflowID
 			res.CampaignID = r.WorkflowID
 		case r.EnsembleID != "":
-			res.Modality, res.Source = job.ModEnsemble, SourceAttribute
+			res.Modality, res.Source, res.Evidence = job.ModEnsemble, SourceAttribute, EvEnsembleID
 			res.CampaignID = r.EnsembleID
 		case staged[r.JobID] >= cl.cfg.DataBytesThreshold:
-			res.Modality, res.Source = job.ModDataCentric, SourceAccounting
+			res.Modality, res.Source, res.Evidence = job.ModDataCentric, SourceAccounting, EvStagedBytes
 		default:
 			undecided = append(undecided, i)
 		}
@@ -135,9 +174,11 @@ func (cl *Classifier) Classify(c *accounting.Central) []Result {
 		r := &jobs[i]
 		if cl.cfg.LargestCores > 0 &&
 			float64(r.Cores) >= cl.cfg.CapabilityFrac*float64(cl.cfg.LargestCores) {
-			results[i] = Result{JobID: r.JobID, Modality: job.ModBatchCapability, Source: SourceAccounting}
+			results[i] = Result{JobID: r.JobID, Modality: job.ModBatchCapability,
+				Source: SourceAccounting, Evidence: EvCapabilitySize}
 		} else {
-			results[i] = Result{JobID: r.JobID, Modality: job.ModBatchCapacity, Source: SourceAccounting}
+			results[i] = Result{JobID: r.JobID, Modality: job.ModBatchCapacity,
+				Source: SourceAccounting, Evidence: EvDefaultCapacity}
 		}
 	}
 	return results
@@ -191,6 +232,7 @@ func (cl *Classifier) inferEnsembles(jobs []accounting.JobRecord, results []Resu
 						JobID:      jobs[i].JobID,
 						Modality:   job.ModEnsemble,
 						Source:     SourceInference,
+						Evidence:   EvBurst,
 						CampaignID: id,
 					}
 				}
@@ -242,6 +284,7 @@ func (cl *Classifier) inferChains(jobs []accounting.JobRecord, results []Result,
 						JobID:      jobs[i].JobID,
 						Modality:   job.ModWorkflow,
 						Source:     SourceInference,
+						Evidence:   EvChain,
 						CampaignID: id,
 					}
 				}

@@ -486,3 +486,60 @@ func TestMeasureOverlap(t *testing.T) {
 		t.Errorf("gateway total = %d, want 1", ov.Pairs[job.ModGateway][job.ModGateway])
 	}
 }
+
+func TestEvidenceTags(t *testing.T) {
+	jobs := []accounting.JobRecord{
+		rec(1, func(r *accounting.JobRecord) { r.QOS = "urgent" }),
+		rec(2, func(r *accounting.JobRecord) { r.QOS = "interactive" }),
+		rec(3, func(r *accounting.JobRecord) { r.GatewayID = "nanohub" }),
+		rec(4, func(r *accounting.JobRecord) { r.SubmitVia = "gateway" }),
+		rec(5, func(r *accounting.JobRecord) { r.CoAllocID = "co-1" }),
+		rec(6, func(r *accounting.JobRecord) { r.BrokerJobID = "b-1" }),
+		rec(7, func(r *accounting.JobRecord) { r.SubmitVia = "metasched" }),
+		rec(8, func(r *accounting.JobRecord) { r.WorkflowID = "wf-1" }),
+		rec(9, func(r *accounting.JobRecord) { r.EnsembleID = "ens-1" }),
+		rec(10, nil),
+		rec(11, func(r *accounting.JobRecord) { r.Cores = 1024 }),
+	}
+	attrs := []accounting.GatewayAttrRecord{{GatewayID: "g", GatewayUser: "alice", JobID: 10}}
+	res := classify(t, central(t, jobs, attrs, nil))
+	want := []string{
+		EvQOSUrgent, EvQOSInteractive, EvGatewayID, EvSubmitVia,
+		EvCoAllocID, EvBrokerID, EvSubmitVia, EvWorkflowID, EvEnsembleID,
+		EvGatewayUserRec, EvCapabilitySize,
+	}
+	for i, w := range want {
+		if res[i].Evidence != w {
+			t.Errorf("job %d evidence %q, want %q", i+1, res[i].Evidence, w)
+		}
+	}
+}
+
+func TestEvidenceInferenceAndDefault(t *testing.T) {
+	// A burst of 5 identical submissions close together → infer:burst;
+	// one straggler far outside the window → acct:default.
+	var jobs []accounting.JobRecord
+	for i := 0; i < 5; i++ {
+		i := i
+		jobs = append(jobs, rec(int64(i+1), func(r *accounting.JobRecord) {
+			r.SubmitTime = float64(i) * 60
+			r.StartTime = r.SubmitTime + 10
+			r.EndTime = r.StartTime + 100
+		}))
+	}
+	jobs = append(jobs, rec(6, func(r *accounting.JobRecord) {
+		r.Name = "other"
+		r.SubmitTime = 1e7
+		r.StartTime = r.SubmitTime + 10
+		r.EndTime = r.StartTime + 100
+	}))
+	res := classify(t, central(t, jobs, nil, nil))
+	for i := 0; i < 5; i++ {
+		if res[i].Evidence != EvBurst {
+			t.Errorf("burst job %d evidence %q, want %q", i+1, res[i].Evidence, EvBurst)
+		}
+	}
+	if res[5].Evidence != EvDefaultCapacity {
+		t.Errorf("straggler evidence %q, want %q", res[5].Evidence, EvDefaultCapacity)
+	}
+}

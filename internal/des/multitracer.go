@@ -1,0 +1,61 @@
+package des
+
+// multiTracer fans kernel trace callbacks out to several tracers. The
+// StepObserver sub-list is computed once at construction, so AfterEvent
+// dispatch costs one slice walk, not per-event type assertions.
+type multiTracer struct {
+	tracers   []Tracer
+	observers []StepObserver
+}
+
+// Event implements Tracer.
+func (m *multiTracer) Event(at Time, name string) {
+	for _, t := range m.tracers {
+		t.Event(at, name)
+	}
+}
+
+// AfterEvent implements StepObserver.
+func (m *multiTracer) AfterEvent(at Time, name string, pending int) {
+	for _, o := range m.observers {
+		o.AfterEvent(at, name, pending)
+	}
+}
+
+// CombineTracers merges tracers into one. Nil entries are dropped; zero
+// survivors yield nil (so SetTracer(CombineTracers()) disables tracing) and
+// a single survivor is returned unwrapped, keeping the common one-tracer
+// case free of indirection. The result implements StepObserver whenever at
+// least one member does.
+func CombineTracers(tracers ...Tracer) Tracer {
+	var live []Tracer
+	for _, t := range tracers {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	m := &multiTracer{tracers: live}
+	for _, t := range live {
+		if o, ok := t.(StepObserver); ok {
+			m.observers = append(m.observers, o)
+		}
+	}
+	if len(m.observers) == 0 {
+		// No member wants AfterEvent; hide the StepObserver implementation
+		// so the kernel skips the post-handler call entirely.
+		return tracerOnly{m}
+	}
+	return m
+}
+
+// tracerOnly strips the StepObserver implementation from a multiTracer.
+type tracerOnly struct{ m *multiTracer }
+
+// Event implements Tracer.
+func (t tracerOnly) Event(at Time, name string) { t.m.Event(at, name) }

@@ -1,0 +1,43 @@
+package des
+
+import "testing"
+
+func TestCombineTracersDegenerateCases(t *testing.T) {
+	if CombineTracers() != nil || CombineTracers(nil, nil) != nil {
+		t.Error("no live tracers should combine to nil")
+	}
+	single := &countingTracer{}
+	if got := CombineTracers(nil, single); got != Tracer(single) {
+		t.Error("single live tracer should be returned unwrapped")
+	}
+}
+
+func TestCombineTracersFansOut(t *testing.T) {
+	a, b := &countingTracer{}, &observingTracer{}
+	k := New()
+	k.SetTracer(CombineTracers(a, b))
+	for i := 1; i <= 4; i++ {
+		k.Schedule(Time(i), func(*Kernel) {})
+	}
+	k.Run()
+	if a.events != 4 || b.events != 4 {
+		t.Errorf("fan-out saw %d/%d events, want 4/4", a.events, b.events)
+	}
+	if b.pending != 0 {
+		t.Errorf("observer pending = %d, want 0", b.pending)
+	}
+}
+
+func TestCombineTracersHidesStepObserverWhenUnused(t *testing.T) {
+	// Two plain tracers: the combined tracer must not claim StepObserver,
+	// so the kernel skips the post-handler call entirely.
+	combined := CombineTracers(&countingTracer{}, &countingTracer{})
+	if _, ok := combined.(StepObserver); ok {
+		t.Error("combined plain tracers should not implement StepObserver")
+	}
+	// One observer in the mix: the interface must surface.
+	combined = CombineTracers(&countingTracer{}, &observingTracer{})
+	if _, ok := combined.(StepObserver); !ok {
+		t.Error("combined tracer with an observer member must implement StepObserver")
+	}
+}

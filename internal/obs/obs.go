@@ -76,15 +76,35 @@ func Instant(r Recorder, at des.Time, cat, name, track string, args ...KV) {
 
 // Buffer is the standard in-memory Recorder. Events are appended in
 // execution order, which the single-threaded kernel makes deterministic.
+// An optional capacity bounds memory on long traced runs: once full, new
+// events are counted as dropped instead of retained, so the kept prefix
+// stays contiguous (a prefix truncates spans cleanly; sampling would tear
+// begin/end pairs apart).
 type Buffer struct {
-	events []Event
+	events  []Event
+	max     int
+	dropped uint64
 }
 
-// NewBuffer returns an empty buffer.
+// NewBuffer returns an unbounded buffer.
 func NewBuffer() *Buffer { return &Buffer{} }
 
+// NewBufferCap returns a buffer that retains at most max events (max <= 0
+// means unbounded). Events beyond the cap increment the dropped counter.
+func NewBufferCap(max int) *Buffer { return &Buffer{max: max} }
+
 // Record implements Recorder.
-func (b *Buffer) Record(ev Event) { b.events = append(b.events, ev) }
+func (b *Buffer) Record(ev Event) {
+	if b.max > 0 && len(b.events) >= b.max {
+		b.dropped++
+		return
+	}
+	b.events = append(b.events, ev)
+}
+
+// Dropped returns the number of events discarded because the buffer was at
+// capacity.
+func (b *Buffer) Dropped() uint64 { return b.dropped }
 
 // Len returns the number of recorded events.
 func (b *Buffer) Len() int { return len(b.events) }

@@ -176,3 +176,38 @@ func TestKernelProfiler(t *testing.T) {
 		t.Errorf("summary %q missing event count", p.Summary())
 	}
 }
+
+func TestBufferCap(t *testing.T) {
+	b := NewBufferCap(3)
+	for i := 0; i < 10; i++ {
+		Instant(b, des.Time(i), "job", "ev", "m1")
+	}
+	if b.Len() != 3 {
+		t.Errorf("Len = %d, want 3", b.Len())
+	}
+	if b.Dropped() != 7 {
+		t.Errorf("Dropped = %d, want 7", b.Dropped())
+	}
+	// The kept prefix is the first three events, in order.
+	for i, ev := range b.Events() {
+		if ev.At != des.Time(i) {
+			t.Errorf("event %d at %v, want %v (prefix must be contiguous)", i, ev.At, des.Time(i))
+		}
+	}
+	// Unbounded buffers never drop.
+	u := NewBuffer()
+	for i := 0; i < 10; i++ {
+		Instant(u, des.Time(i), "job", "ev", "m1")
+	}
+	if u.Len() != 10 || u.Dropped() != 0 {
+		t.Errorf("unbounded: Len=%d Dropped=%d", u.Len(), u.Dropped())
+	}
+	// NewBufferCap(0) means unbounded too.
+	z := NewBufferCap(0)
+	for i := 0; i < 10; i++ {
+		Instant(z, des.Time(i), "job", "ev", "m1")
+	}
+	if z.Len() != 10 || z.Dropped() != 0 {
+		t.Errorf("cap 0: Len=%d Dropped=%d", z.Len(), z.Dropped())
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"github.com/tgsim/tgmod/internal/sched"
 	"github.com/tgsim/tgmod/internal/simrand"
 	"github.com/tgsim/tgmod/internal/storage"
+	"github.com/tgsim/tgmod/internal/telemetry"
 	"github.com/tgsim/tgmod/internal/users"
 	"github.com/tgsim/tgmod/internal/workload"
 )
@@ -91,11 +92,22 @@ type Observe struct {
 	SamplePeriod des.Time
 	// Profile, when true, installs a wall-clock kernel self-profiler.
 	Profile bool
+	// Registry, when non-nil, receives live labeled metrics: per-machine
+	// queue/utilization gauges, lifecycle and modality counters, queue-wait
+	// and transfer-duration histograms, and accounting-flush counters. The
+	// registry is only ever touched from the simulation goroutine.
+	Registry *telemetry.Registry
+	// Snapshots, when non-nil, receives wall-throttled progress snapshots
+	// during the run (via the des tracer seam, so no kernel events are
+	// added) plus one final snapshot after the run completes. The sink runs
+	// on the simulation goroutine.
+	Snapshots func(*telemetry.Snapshot)
 }
 
 // Enabled reports whether any observability feature is requested.
 func (o Observe) Enabled() bool {
-	return o.Recorder != nil || o.SamplePeriod > 0 || o.Profile
+	return o.Recorder != nil || o.SamplePeriod > 0 || o.Profile ||
+		o.Registry != nil || o.Snapshots != nil
 }
 
 // Config parameterizes a full simulation.
@@ -220,8 +232,8 @@ func Run(cfg Config) (*Result, error) {
 	rec := cfg.Observe.Recorder
 	var profiler *obs.KernelProfiler
 	if cfg.Observe.Profile {
+		// Created now, installed with the other tracers just before the run.
 		profiler = obs.NewKernelProfiler(k)
-		profiler.Install()
 	}
 
 	// Network and storage.
@@ -391,6 +403,14 @@ func Run(cfg Config) (*Result, error) {
 		gateways[gc.ID] = gw
 	}
 
+	// Live telemetry, installed after every seam handler exists so the
+	// instrument wrappers compose with (never replace) the span recorders.
+	var th *telemetryHooks
+	if cfg.Observe.Registry != nil {
+		th = installTelemetry(cfg.Observe.Registry, k, fed, scheds, fabric,
+			gateways, bank, &finished, rec)
+	}
+
 	// Periodic accounting reporting over the simulated wire.
 	flushAll := func() error {
 		for _, s := range fed.Sites {
@@ -402,6 +422,7 @@ func Run(cfg Config) (*Result, error) {
 				if err := central.IngestWire(data); err != nil {
 					return err
 				}
+				th.flushed(len(p.Jobs), len(data))
 			}
 		}
 		return nil
@@ -448,10 +469,35 @@ func Run(cfg Config) (*Result, error) {
 		sampler.Start(k)
 	}
 
+	// Progress snapshots ride the tracer seam (no kernel events), combined
+	// with the profiler when both are on.
+	var pub *telemetry.Publisher
+	if cfg.Observe.Snapshots != nil {
+		pub = &telemetry.Publisher{
+			Build: snapshotBuilder(fed, scheds, &finished, cfg.Horizon+cfg.DrainTime),
+			Sink:  cfg.Observe.Snapshots,
+		}
+	}
+	var tracers []des.Tracer
+	if profiler != nil {
+		tracers = append(tracers, profiler)
+	}
+	if pub != nil {
+		tracers = append(tracers, pub)
+	}
+	if tr := des.CombineTracers(tracers...); tr != nil {
+		k.SetTracer(tr)
+	}
+
 	// Run to the horizon plus drain, then final flush.
 	k.RunUntil(cfg.Horizon + cfg.DrainTime)
 	if err := flushAll(); err != nil {
 		return nil, err
+	}
+	if pub != nil {
+		// One final snapshot so consoles and progress lines end on the true
+		// final state, regardless of wall-clock throttling.
+		pub.Final(k.Now(), k.Pending())
 	}
 
 	return &Result{

@@ -1,0 +1,164 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/tgsim/tgmod/internal/des"
+	"github.com/tgsim/tgmod/internal/obs"
+	"github.com/tgsim/tgmod/internal/telemetry"
+)
+
+// telemetryRun executes a small scenario with live telemetry on and returns
+// the result, the final OpenMetrics exposition, and the final snapshot.
+func telemetryRun(t *testing.T, seed uint64) (*Result, []byte, *telemetry.Snapshot) {
+	t.Helper()
+	cfg := smallConfig(seed)
+	reg := telemetry.New()
+	var last *telemetry.Snapshot
+	cfg.Observe = Observe{
+		Recorder: obs.NewBuffer(),
+		Registry: reg,
+		Snapshots: func(s *telemetry.Snapshot) {
+			last = s
+		},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var om bytes.Buffer
+	if err := reg.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	return res, om.Bytes(), last
+}
+
+func TestTelemetryDoesNotPerturbRun(t *testing.T) {
+	// The acceptance bound of the telemetry layer: a same-seed run with the
+	// registry and snapshot publisher installed produces a byte-identical
+	// accounting database and Chrome trace.
+	plain, err := Run(smallConfig(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrumented, _, _ := telemetryRun(t, 21)
+
+	var a, b bytes.Buffer
+	if err := plain.Central.Export(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := instrumented.Central.Export(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("telemetry perturbed the accounting export (%d vs %d bytes)", a.Len(), b.Len())
+	}
+	if plain.Kernel.Executed() != instrumented.Kernel.Executed() {
+		t.Errorf("event counts differ: plain %d, instrumented %d",
+			plain.Kernel.Executed(), instrumented.Kernel.Executed())
+	}
+}
+
+func TestTelemetryTraceByteIdenticalWithRegistry(t *testing.T) {
+	// Span tracing composes with telemetry through the wrapped seams: the
+	// Chrome trace with a registry installed matches the trace without one.
+	_, noReg := observedRun(t, 13)
+
+	cfg := smallConfig(13)
+	cfg.MaintenanceEvery = 3 * des.Day
+	cfg.MaintenanceLength = 4 * des.Hour
+	buf := obs.NewBuffer()
+	cfg.Observe = Observe{Recorder: buf, SamplePeriod: des.Hour, Profile: true,
+		Registry: telemetry.New(), Snapshots: func(*telemetry.Snapshot) {}}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var withReg bytes.Buffer
+	if err := buf.WriteChromeTrace(&withReg); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(noReg, withReg.Bytes()) {
+		t.Errorf("registry install changed the Chrome trace (%d vs %d bytes)",
+			len(noReg), withReg.Len())
+	}
+}
+
+func TestFinalExpositionStableAcrossRuns(t *testing.T) {
+	_, a, _ := telemetryRun(t, 5)
+	_, b, _ := telemetryRun(t, 5)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-seed final /metrics differ (%d vs %d bytes)", len(a), len(b))
+	}
+	if !bytes.HasSuffix(a, []byte("# EOF\n")) {
+		t.Error("exposition missing # EOF terminator")
+	}
+}
+
+func TestTelemetryFamiliesPopulated(t *testing.T) {
+	res, om, last := telemetryRun(t, 9)
+	text := string(om)
+	for _, fam := range []string{
+		"tg_jobs_total", "tg_queue_depth", "tg_running_jobs", "tg_utilization",
+		"tg_queue_wait_seconds", "tg_sched_decisions_total",
+		"tg_jobs_by_modality_total", "tg_nus_by_modality_total",
+		"tg_transfers_completed_total", "tg_transfer_duration_seconds",
+		"tg_gateway_requests_total", "tg_kernel_events", "tg_jobs_finished",
+		"tg_accounting_flushes_total", "tg_accounting_job_records_total",
+	} {
+		if !strings.Contains(text, "# TYPE "+fam+" ") {
+			t.Errorf("exposition missing family %s", fam)
+		}
+	}
+	// The per-machine families carry one series per federation machine.
+	for _, m := range res.Federation.Machines() {
+		if !strings.Contains(text, `tg_queue_depth{machine="`+m.ID+`"}`) {
+			t.Errorf("no tg_queue_depth series for machine %s", m.ID)
+		}
+	}
+	// The final snapshot agrees with the run result.
+	if last == nil {
+		t.Fatal("no final snapshot published")
+	}
+	if !last.Done || last.Progress != 1 {
+		t.Errorf("final snapshot not done: %+v", last)
+	}
+	if last.JobsFinished != res.Finished {
+		t.Errorf("snapshot finished %d, result %d", last.JobsFinished, res.Finished)
+	}
+	if last.Events != res.Kernel.Executed() {
+		t.Errorf("snapshot events %d, kernel %d", last.Events, res.Kernel.Executed())
+	}
+	if len(last.Machines) != len(res.Federation.Machines()) {
+		t.Errorf("snapshot has %d machines, federation %d",
+			len(last.Machines), len(res.Federation.Machines()))
+	}
+}
+
+func TestObsBufferCapBoundsMemory(t *testing.T) {
+	cfg := smallConfig(17)
+	buf := obs.NewBufferCap(500)
+	reg := telemetry.New()
+	cfg.Observe = Observe{Recorder: buf, Registry: reg}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 500 {
+		t.Errorf("capped buffer holds %d events, want exactly 500", buf.Len())
+	}
+	if buf.Dropped() == 0 {
+		t.Error("a busy week dropped no events at cap 500")
+	}
+	// The drop counter is surfaced as a metric.
+	var om bytes.Buffer
+	if err := reg.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(om.String(), "tg_obs_dropped_events ") {
+		t.Error("tg_obs_dropped_events not exposed")
+	}
+	if !strings.Contains(om.String(), "tg_obs_buffer_events 500") {
+		t.Errorf("tg_obs_buffer_events not 500 in exposition")
+	}
+}

@@ -1,0 +1,141 @@
+// The HTTP run console. The simulation loop publishes immutable snapshots
+// (and pre-rendered OpenMetrics payloads) into atomic pointers; HTTP
+// handlers only ever load those pointers. Serving therefore runs entirely
+// off-thread: it never locks simulation state, never evaluates gauges, and
+// can never perturb event ordering or determinism.
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"sync/atomic"
+)
+
+// Console serves the live run console: /metrics (OpenMetrics), /status
+// (JSON snapshot), and / (a self-contained HTML dashboard). The zero value
+// is not ready; use NewConsole.
+type Console struct {
+	snap    atomic.Pointer[Snapshot]
+	metrics atomic.Pointer[[]byte]
+}
+
+// NewConsole returns a console with an empty snapshot, so endpoints are
+// serviceable before the first publication.
+func NewConsole() *Console {
+	c := &Console{}
+	c.snap.Store(&Snapshot{SimTimeHuman: "0:00:00:00"})
+	empty := []byte("# EOF\n")
+	c.metrics.Store(&empty)
+	return c
+}
+
+// Update publishes a snapshot and its matching OpenMetrics payload. Callers
+// must treat both as immutable after the call. Safe to call from the
+// simulation goroutine while HTTP requests are in flight.
+func (c *Console) Update(s *Snapshot, openMetrics []byte) {
+	if s != nil {
+		c.snap.Store(s)
+	}
+	if openMetrics != nil {
+		c.metrics.Store(&openMetrics)
+	}
+}
+
+// Snapshot returns the most recently published snapshot.
+func (c *Console) Snapshot() *Snapshot { return c.snap.Load() }
+
+// ServeHTTP implements http.Handler, routing the three console endpoints.
+func (c *Console) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/metrics":
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		w.Write(*c.metrics.Load())
+	case "/status":
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(c.snap.Load())
+	case "/", "/index.html":
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write([]byte(dashboardHTML))
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// Serve starts the console's HTTP server on addr (e.g. ":8080"; ":0" picks
+// a free port) in a background goroutine and returns the bound address.
+// The listener lives until the process exits — the console is a run-scoped
+// diagnostic, not a managed service.
+func (c *Console) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, c)
+	return ln.Addr().String(), nil
+}
+
+// dashboardHTML is the self-contained dashboard: no external assets, no
+// frameworks; it polls /status and renders a progress bar plus a
+// per-machine table.
+const dashboardHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>tgsim run console</title>
+<style>
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 60rem; color: #1a1a2e; }
+h1 { font-size: 1.2rem; } code { background: #f0f0f5; padding: 0 .3em; }
+#bar { height: 1.2rem; background: #e8e8f0; border-radius: .3rem; overflow: hidden; }
+#fill { height: 100%; width: 0; background: #4a6fa5; transition: width .3s; }
+table { border-collapse: collapse; margin-top: 1rem; width: 100%; }
+th, td { text-align: left; padding: .25rem .75rem; border-bottom: 1px solid #e0e0e8; }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+#stats { margin: .75rem 0; color: #555; }
+.done #fill { background: #3c8c5a; }
+</style>
+</head>
+<body>
+<h1>tgsim run console</h1>
+<div id="bar"><div id="fill"></div></div>
+<div id="stats">waiting for first snapshot&hellip;</div>
+<table id="machines"><thead>
+<tr><th>machine</th><th class="num">queued</th><th class="num">running</th><th class="num">utilization</th></tr>
+</thead><tbody></tbody></table>
+<p>Raw endpoints: <a href="/status"><code>/status</code></a> (JSON),
+<a href="/metrics"><code>/metrics</code></a> (OpenMetrics).</p>
+<script>
+async function tick() {
+  try {
+    const r = await fetch('/status');
+    const s = await r.json();
+    document.body.classList.toggle('done', !!s.done);
+    document.getElementById('fill').style.width = (100 * s.progress).toFixed(1) + '%';
+    const eps = s.events_per_sec ? (s.events_per_sec / 1000).toFixed(0) + 'k ev/s' : '';
+    document.getElementById('stats').textContent =
+      (100 * s.progress).toFixed(1) + '%  ·  sim ' + s.sim_time +
+      '  ·  ' + s.events.toLocaleString() + ' events ' + eps +
+      '  ·  finished ' + s.jobs_finished.toLocaleString() +
+      (s.done ? '  ·  done' : (s.eta_seconds ? '  ·  eta ' + Math.round(s.eta_seconds) + 's' : ''));
+    const tb = document.querySelector('#machines tbody');
+    tb.innerHTML = '';
+    for (const m of (s.machines || [])) {
+      const tr = document.createElement('tr');
+      for (const v of [m.id, m.queue_depth, m.running, (100 * m.utilization).toFixed(1) + '%']) {
+        const td = document.createElement('td');
+        td.textContent = v;
+        if (typeof v === 'number' || v.endsWith('%')) td.className = 'num';
+        tr.appendChild(td);
+      }
+      tb.appendChild(tr);
+    }
+    if (!s.done) setTimeout(tick, 1000); else setTimeout(tick, 5000);
+  } catch (e) { setTimeout(tick, 2000); }
+}
+tick();
+</script>
+</body>
+</html>
+`

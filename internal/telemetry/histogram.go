@@ -1,0 +1,194 @@
+// Log-bucketed streaming histogram: O(buckets) state with cheap quantile
+// estimates, replacing metrics.Sample (which retains every observation and
+// cannot serve a 90-day full-scale run) for live views.
+package telemetry
+
+import "math"
+
+// Histogram bucket geometry. Buckets are powers of two: bucket i covers
+// (2^(i+minExp-1), 2^(i+minExp)], with an underflow bucket for values at or
+// below 2^(minExp) and an overflow bucket above 2^(maxExp). The span
+// [2^-10, 2^40] ≈ [1 ms, 34 years] in seconds or [1/1024 B, 1 TiB] in
+// bytes covers every duration and size the simulation produces.
+const (
+	histMinExp = -10
+	histMaxExp = 40
+	// histBuckets: one bucket per exponent step plus the overflow bucket.
+	histBuckets = histMaxExp - histMinExp + 1
+)
+
+// Histogram accumulates observations into logarithmic buckets. Quantile
+// estimates are exact to within bucket resolution (a factor of two), which
+// is the live-telemetry tradeoff: bounded memory for bounded error.
+type Histogram struct {
+	counts [histBuckets]uint64
+	n      uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v float64) int {
+	if v <= histUpper(0) {
+		return 0
+	}
+	e := int(math.Ceil(math.Log2(v)))
+	i := e - histMinExp
+	if i < 0 {
+		i = 0
+	}
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// histUpper returns the inclusive upper bound of bucket i (+Inf for the
+// overflow bucket).
+func histUpper(i int) float64 {
+	if i >= histBuckets-1 {
+		return math.Inf(1)
+	}
+	return math.Pow(2, float64(i+histMinExp))
+}
+
+// Observe records one observation. Negative values clamp to zero (durations
+// and sizes are non-negative; a tiny float underrun must not panic a run).
+// Nil-safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if h.n == 0 || v > h.max {
+		h.max = v
+	}
+	h.counts[bucketOf(v)]++
+	h.n++
+	h.sum += v
+}
+
+// N returns the observation count (0 on nil).
+func (h *Histogram) N() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the total of all observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Mean returns the arithmetic mean (0 when empty or nil).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Min and Max return the exact observed extremes (0 when empty or nil).
+func (h *Histogram) Min() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation seen.
+func (h *Histogram) Max() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) by locating the target
+// rank's bucket and interpolating geometrically inside it (log-bucketed
+// data is closer to log-uniform than uniform within a bucket). The result
+// is clamped to the observed [min, max], so tail quantiles of a
+// single-bucket histogram stay honest. Returns 0 when empty or nil.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := q * float64(h.n)
+	var cum float64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			frac := (rank - cum) / float64(c)
+			v := interpolate(i, frac)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+		cum = next
+	}
+	return h.max
+}
+
+// interpolate places frac ∈ [0,1] inside bucket i. Geometric interpolation
+// between the bucket bounds; the underflow bucket (lower bound 0) and the
+// overflow bucket (upper bound +Inf) fall back to their finite edge.
+func interpolate(i int, frac float64) float64 {
+	hi := histUpper(i)
+	if i == 0 {
+		return hi * frac // linear within the underflow bucket
+	}
+	if math.IsInf(hi, 1) {
+		return histUpper(i - 1) // overflow bucket: report its lower edge
+	}
+	lo := histUpper(i - 1)
+	return lo * math.Pow(hi/lo, frac)
+}
+
+// buckets returns (upperBound, cumulativeCount) pairs for every bucket up
+// to and including the last non-empty one, always ending with the +Inf
+// bucket — the cumulative form OpenMetrics histograms require.
+func (h *Histogram) buckets() ([]float64, []uint64) {
+	last := -1
+	for i, c := range h.counts {
+		if c > 0 {
+			last = i
+		}
+	}
+	var bounds []float64
+	var cums []uint64
+	var cum uint64
+	for i := 0; i <= last && i < histBuckets-1; i++ {
+		cum += h.counts[i]
+		bounds = append(bounds, histUpper(i))
+		cums = append(cums, cum)
+	}
+	bounds = append(bounds, math.Inf(1))
+	cums = append(cums, h.n)
+	return bounds, cums
+}

@@ -1,0 +1,175 @@
+// OpenMetrics/Prometheus text exposition. Families are written in sorted
+// name order and series in sorted label-value order, floats are rendered
+// with strconv shortest-round-trip formatting, and no timestamps are
+// emitted — so identical registry state produces byte-identical payloads,
+// and same-seed runs therefore expose byte-identical /metrics.
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteOpenMetrics writes the registry in OpenMetrics text format,
+// terminated by "# EOF". Histograms expose cumulative le-buckets plus
+// _sum and _count. Callback gauges are evaluated here, so this must be
+// called from the goroutine that owns the registry (the simulation loop);
+// the HTTP console serves pre-rendered bytes instead of calling this.
+// A nil registry writes just the EOF terminator.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if r != nil {
+		for _, name := range r.Families() {
+			f := r.families[name]
+			if err := writeFamily(bw, f); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := bw.WriteString("# EOF\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeFamily(bw *bufio.Writer, f *family) error {
+	if f.help != "" {
+		if _, err := bw.WriteString("# HELP " + f.name + " " + escapeHelp(f.help) + "\n"); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("# TYPE " + f.name + " " + f.kind.String() + "\n"); err != nil {
+		return err
+	}
+	for _, s := range f.sortedSeries() {
+		var err error
+		switch f.kind {
+		case KindHistogram:
+			err = writeHistogramSeries(bw, f, s)
+		default:
+			v := s.value
+			if s.fn != nil {
+				v = s.fn()
+			}
+			err = writeSample(bw, f.name, f.labels, s.labelValues, "", "", v)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogramSeries(bw *bufio.Writer, f *family, s *series) error {
+	bounds, cums := s.hist.buckets()
+	for i, ub := range bounds {
+		le := "+Inf"
+		if !math.IsInf(ub, 1) {
+			le = formatFloat(ub)
+		}
+		if err := writeSample(bw, f.name+"_bucket", f.labels, s.labelValues,
+			"le", le, float64(cums[i])); err != nil {
+			return err
+		}
+	}
+	if err := writeSample(bw, f.name+"_sum", f.labels, s.labelValues, "", "", s.hist.Sum()); err != nil {
+		return err
+	}
+	return writeSample(bw, f.name+"_count", f.labels, s.labelValues, "", "", float64(s.hist.N()))
+}
+
+// writeSample writes one `name{labels} value` line. extraKey/extraVal, when
+// non-empty, append one more label pair (the histogram `le` bound).
+func writeSample(bw *bufio.Writer, name string, labels, values []string, extraKey, extraVal string, v float64) error {
+	if _, err := bw.WriteString(name); err != nil {
+		return err
+	}
+	if len(labels) > 0 || extraKey != "" {
+		if err := bw.WriteByte('{'); err != nil {
+			return err
+		}
+		first := true
+		for i, l := range labels {
+			if !first {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			first = false
+			if _, err := bw.WriteString(l + `="` + escapeLabel(values[i]) + `"`); err != nil {
+				return err
+			}
+		}
+		if extraKey != "" {
+			if !first {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(extraKey + `="` + extraVal + `"`); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('}'); err != nil {
+			return err
+		}
+	}
+	if err := bw.WriteByte(' '); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(formatFloat(v)); err != nil {
+		return err
+	}
+	return bw.WriteByte('\n')
+}
+
+// formatFloat renders a float the shortest way that round-trips.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a help string (backslash and newline only).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
