@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+
+	"github.com/tgsim/tgmod/internal/experiments"
+	"github.com/tgsim/tgmod/internal/scenario"
+)
+
+// benchSchemaVersion identifies the BENCH_*.json layout; bump it on any
+// field change so history tooling can tell records apart.
+const benchSchemaVersion = 1
+
+// BenchRecord is one point on the performance trajectory: what was built
+// (git describe), how it was run (seed, scale, host), how fast the kernel
+// went on the standard scenario, and how long each experiment took. The
+// schema is documented in DESIGN.md.
+type BenchRecord struct {
+	Schema      int                `json:"schema"`
+	GeneratedAt string             `json:"generated_at"` // RFC 3339, wall clock
+	GitDescribe string             `json:"git_describe"`
+	GoVersion   string             `json:"go_version"`
+	Seed        uint64             `json:"seed"`
+	Scale       string             `json:"scale"`
+	Kernel      BenchKernel        `json:"kernel"`
+	Experiments map[string]float64 `json:"experiments_wall_s"`
+}
+
+// BenchKernel holds throughput figures from a timed scenario.Run over
+// experiments.StandardConfig: total kernel events executed, achieved
+// events per wall-clock second, the future-event-list high-water mark,
+// and how many jobs finished (a sanity anchor: if it shifts between
+// same-seed records, the comparison is not like-for-like).
+type BenchKernel struct {
+	Events       uint64  `json:"events"`
+	WallSeconds  float64 `json:"wall_s"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	PeakFEL      int     `json:"peak_fel"`
+	JobsFinished int     `json:"jobs_finished"`
+}
+
+// measureKernel times the standard scenario and extracts kernel stats.
+func measureKernel(seed uint64, sc experiments.Scale) (BenchKernel, error) {
+	cfg := experiments.StandardConfig(seed, sc)
+	start := time.Now()
+	res, err := scenario.Run(cfg)
+	if err != nil {
+		return BenchKernel{}, err
+	}
+	wall := time.Since(start).Seconds()
+	k := BenchKernel{
+		Events:       res.Kernel.Executed(),
+		WallSeconds:  wall,
+		PeakFEL:      res.Kernel.MaxPending(),
+		JobsFinished: res.Finished,
+	}
+	if wall > 0 {
+		k.EventsPerSec = float64(k.Events) / wall
+	}
+	return k, nil
+}
+
+// gitDescribe returns `git describe --always --dirty`, or "unknown" when
+// git or the repository is unavailable (records must still be writable
+// from an exported tarball).
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// writeBenchRecord assembles the record and writes it to path as indented
+// JSON with a trailing newline.
+func writeBenchRecord(path string, seed uint64, scaleName string, sc experiments.Scale, wall map[string]float64) error {
+	kern, err := measureKernel(seed, sc)
+	if err != nil {
+		return fmt.Errorf("kernel measurement: %w", err)
+	}
+	rec := BenchRecord{
+		Schema:      benchSchemaVersion,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GitDescribe: gitDescribe(),
+		GoVersion:   runtime.Version(),
+		Seed:        seed,
+		Scale:       scaleName,
+		Kernel:      kern,
+		Experiments: wall,
+	}
+	data, err := json.MarshalIndent(&rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

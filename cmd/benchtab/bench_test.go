@@ -1,0 +1,44 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/tgsim/tgmod/internal/experiments"
+)
+
+func TestWriteBenchRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	wall := map[string]float64{"T1": 0.001, "F7": 2.5}
+	if err := writeBenchRecord(path, 7, "quick", experiments.Quick, wall); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec BenchRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("record is not valid JSON: %v", err)
+	}
+	if rec.Schema != benchSchemaVersion {
+		t.Errorf("schema = %d, want %d", rec.Schema, benchSchemaVersion)
+	}
+	if rec.Seed != 7 || rec.Scale != "quick" {
+		t.Errorf("seed/scale = %d/%s", rec.Seed, rec.Scale)
+	}
+	if rec.Kernel.Events == 0 || rec.Kernel.EventsPerSec <= 0 {
+		t.Errorf("kernel stats empty: %+v", rec.Kernel)
+	}
+	if rec.Kernel.PeakFEL <= 0 || rec.Kernel.JobsFinished <= 0 {
+		t.Errorf("kernel stats missing FEL/finished: %+v", rec.Kernel)
+	}
+	if rec.Experiments["F7"] != 2.5 {
+		t.Errorf("experiment wall times not preserved: %v", rec.Experiments)
+	}
+	if rec.GitDescribe == "" || rec.GoVersion == "" || rec.GeneratedAt == "" {
+		t.Errorf("provenance fields empty: %+v", rec)
+	}
+}

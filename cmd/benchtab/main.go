@@ -6,10 +6,13 @@
 //
 // Usage:
 //
-//	benchtab [-seed N] [-scale quick|full] [-only T3] [-progress]
+//	benchtab [-seed N] [-scale quick|full] [-only T3] [-progress] [-json PATH]
 //
 // -progress prints one line per experiment to stderr (id and wall time)
-// without touching stdout, so piped table output stays clean.
+// without touching stdout, so piped table output stays clean. -json writes
+// a BENCH_*.json performance-trajectory record (see DESIGN.md for the
+// schema): per-experiment wall time plus kernel throughput on the standard
+// scenario, stamped with git describe, seed, and scale.
 package main
 
 import (
@@ -34,6 +37,7 @@ func run() error {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. T3,F4); empty = all")
 	progress := flag.Bool("progress", false, "print per-experiment progress to stderr")
+	jsonPath := flag.String("json", "", "write a BENCH_*.json perf record to this path")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -79,7 +83,9 @@ func run() error {
 		{"CR", func() (fmt.Stringer, error) { return experiments.CampaignTable(*seed, sc) }},
 		{"OV", func() (fmt.Stringer, error) { return experiments.OverlapTable(*seed, sc) }},
 		{"MA", func() (fmt.Stringer, error) { return experiments.MaintenanceTable(*seed, sc) }},
+		{"SL", func() (fmt.Stringer, error) { return experiments.SLOTable(*seed, sc) }},
 	}
+	wall := map[string]float64{}
 	for _, g := range gens {
 		if !selected(g.id) {
 			continue
@@ -89,13 +95,23 @@ func run() error {
 		}
 		start := time.Now()
 		out, err := g.run()
+		wall[g.id] = time.Since(start).Seconds()
 		if *progress {
-			fmt.Fprintf(os.Stderr, " %.2fs\n", time.Since(start).Seconds())
+			fmt.Fprintf(os.Stderr, " %.2fs\n", wall[g.id])
 		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", g.id, err)
 		}
 		fmt.Printf("[%s]\n%s\n", g.id, out)
+	}
+	if *jsonPath != "" {
+		if *progress {
+			fmt.Fprintf(os.Stderr, "benchtab: timing kernel for %s...\n", *jsonPath)
+		}
+		if err := writeBenchRecord(*jsonPath, *seed, *scaleFlag, sc, wall); err != nil {
+			return fmt.Errorf("bench record: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "benchtab: wrote perf record to %s\n", *jsonPath)
 	}
 	return nil
 }

@@ -1,0 +1,69 @@
+// Command tgdiff compares two simulation run directories exported with
+// tgsim -export and reports regressions: per-series value shifts beyond
+// tolerance, plus series added or removed. Because the simulator is
+// deterministic, two same-seed runs must diff empty; CI uses that as a
+// determinism gate, and developers use seed-to-seed or build-to-build
+// diffs to see exactly which metrics a change moved.
+//
+// Usage:
+//
+//	tgdiff [-abs N] [-rel N] BASELINE_DIR CANDIDATE_DIR
+//
+// Exit status: 0 when the diff is empty, 1 when it reports regressions,
+// 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/tgsim/tgmod/internal/regress"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("tgdiff", flag.ExitOnError)
+	absTol := fs.Float64("abs", 0, "absolute tolerance per series")
+	relTol := fs.Float64("rel", 0, "relative tolerance per series (fraction of the larger magnitude)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tgdiff [-abs N] [-rel N] BASELINE_DIR CANDIDATE_DIR")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(os.Args[1:])
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+
+	series := func(dir string) (map[string]float64, error) {
+		r, err := regress.LoadRunDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		return r.Series()
+	}
+	a, err := series(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tgdiff:", err)
+		return 2
+	}
+	b, err := series(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tgdiff:", err)
+		return 2
+	}
+
+	rep := regress.Diff(a, b, regress.Tolerance{Abs: *absTol, Rel: *relTol})
+	if err := rep.WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tgdiff:", err)
+		return 2
+	}
+	if !rep.Empty() {
+		return 1
+	}
+	return 0
+}

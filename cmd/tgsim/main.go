@@ -5,27 +5,37 @@
 //
 // Usage:
 //
-//	tgsim [-seed N] [-days D] [-policy fcfs|easy|conservative|fairshare]
+//	tgsim [-seed N] [-days D] [-scale quick|full] [-policy fcfs|easy|conservative|fairshare]
 //	      [-trace out.jsonl] [-csv-dir DIR] [-config cfg.json] [-dump-config cfg.json]
 //	      [-maintenance-every D] [-quiet]
 //	      [-chrome-trace t.json] [-obs-jsonl t.jsonl] [-obs-csv DIR]
-//	      [-obs-sample-hours H] [-obs-max-events N] [-profile]
-//	      [-http :PORT] [-progress]
+//	      [-obs-sample-hours H] [-obs-max-events N] [-strict-obs] [-profile]
+//	      [-slo] [-analysis] [-export DIR]
+//	      [-http :PORT] [-http-hold] [-progress]
 package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
 
+	"github.com/tgsim/tgmod/internal/analysis"
 	"github.com/tgsim/tgmod/internal/core"
 	"github.com/tgsim/tgmod/internal/des"
+	"github.com/tgsim/tgmod/internal/experiments"
 	"github.com/tgsim/tgmod/internal/obs"
+	"github.com/tgsim/tgmod/internal/regress"
 	"github.com/tgsim/tgmod/internal/report"
 	"github.com/tgsim/tgmod/internal/scenario"
+	"github.com/tgsim/tgmod/internal/slo"
 	"github.com/tgsim/tgmod/internal/telemetry"
 )
 
@@ -54,7 +64,13 @@ func run() error {
 	obsMaxEvents := flag.Int("obs-max-events", 0, "cap the in-memory span buffer at N events (0 = unbounded); overflow is counted and dropped")
 	profile := flag.Bool("profile", false, "print the kernel self-profile (wall-clock cost per event name) after the run")
 	httpAddr := flag.String("http", "", "serve the live run console (dashboard /, /status JSON, /metrics OpenMetrics) on this address, e.g. :8080")
+	httpHold := flag.Bool("http-hold", false, "with -http: keep serving the final snapshot after the run until interrupted")
 	progress := flag.Bool("progress", false, "print a live one-line progress snapshot to stderr")
+	scale := flag.String("scale", "", "run the standard measurement scenario at a scale (quick or full); overrides -days and the default workload mix")
+	sloFlag := flag.Bool("slo", false, "evaluate per-modality virtual-time SLOs and print the conformance table")
+	analysisFlag := flag.Bool("analysis", false, "reconstruct job timelines and print wait-decomposition and critical-path tables")
+	exportDir := flag.String("export", "", "write the run's exports (metrics.om, obs.jsonl, acct.jsonl) into this directory for tgdiff")
+	strictObs := flag.Bool("strict-obs", false, "exit non-zero when the span buffer dropped events")
 	flag.Parse()
 
 	var cfg scenario.Config
@@ -77,20 +93,45 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		cfg = scenario.DefaultConfig(*seed)
-		cfg.Horizon = des.Time(*days) * des.Day
-		cfg.DrainTime = cfg.Horizon / 8
+		if *scale != "" {
+			// The standard measurement scenario the experiments and CI use,
+			// so CLI runs are directly comparable with published tables.
+			var sc experiments.Scale
+			switch *scale {
+			case "quick":
+				sc = experiments.Quick
+			case "full":
+				sc = experiments.Full
+			default:
+				return fmt.Errorf("unknown -scale %q (want quick or full)", *scale)
+			}
+			cfg = experiments.StandardConfig(*seed, sc)
+		} else {
+			cfg = scenario.DefaultConfig(*seed)
+			cfg.Horizon = des.Time(*days) * des.Day
+			cfg.DrainTime = cfg.Horizon / 8
+		}
 		cfg.Policy = pol
 		if *maintDays > 0 {
 			cfg.MaintenanceEvery = des.Time(*maintDays) * des.Day
 			cfg.MaintenanceLength = des.Time(*maintHours) * des.Hour
 		}
 	}
-	// Observability applies regardless of where the config came from.
+	// Observability applies regardless of where the config came from. The
+	// span buffer is needed by any consumer of the event stream: trace
+	// exports, timeline analysis, and the tgdiff run-dir export.
 	var spans *obs.Buffer
-	if *chromeTrace != "" || *obsJSONL != "" {
+	if *chromeTrace != "" || *obsJSONL != "" || *analysisFlag || *exportDir != "" {
 		spans = obs.NewBufferCap(*obsMaxEvents)
 		cfg.Observe.Recorder = spans
+	}
+	var sloEval *slo.Evaluator
+	if *sloFlag {
+		var err error
+		if sloEval, err = slo.New(); err != nil {
+			return err
+		}
+		cfg.Observe.SLO = sloEval
 	}
 	if *obsCSV != "" {
 		if *obsSampleHours <= 0 {
@@ -106,7 +147,7 @@ func run() error {
 	// reads published immutable snapshots.
 	var reg *telemetry.Registry
 	var console *telemetry.Console
-	if *httpAddr != "" || *progress {
+	if *httpAddr != "" || *progress || *exportDir != "" {
 		reg = telemetry.New()
 		cfg.Observe.Registry = reg
 	}
@@ -174,10 +215,38 @@ func run() error {
 		}
 	}
 
-	// Observability exports.
+	// The epilogue runs on every exit path after the simulation: kernel
+	// profile, console hold/shutdown, and the strict-observability verdict.
+	epilogue := func() error {
+		if err := printProfile(res); err != nil {
+			return err
+		}
+		if console != nil {
+			if *httpHold {
+				fmt.Fprintln(os.Stderr, "tgsim: -http-hold: run console serving the final snapshot; interrupt (ctrl-C) to exit")
+				ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+				<-ctx.Done()
+				stop()
+			}
+			if err := console.Close(2 * time.Second); err != nil {
+				return err
+			}
+		}
+		if *strictObs && spans != nil && spans.Dropped() > 0 {
+			return fmt.Errorf("-strict-obs: span buffer dropped %d events", spans.Dropped())
+		}
+		return nil
+	}
+
+	// Observability exports. A truncated span buffer silently invalidates
+	// every event-stream consumer (traces, analysis, tgdiff exports), so
+	// dropping is loud; -strict-obs upgrades it to a failure.
 	if spans != nil && spans.Dropped() > 0 {
-		fmt.Fprintf(os.Stderr, "tgsim: span buffer cap reached: %d events dropped (raise -obs-max-events)\n",
-			spans.Dropped())
+		fmt.Fprintln(os.Stderr, strings.Repeat("*", 70))
+		fmt.Fprintf(os.Stderr, "* WARNING: observability buffer overflowed: %d events DROPPED.\n", spans.Dropped())
+		fmt.Fprintln(os.Stderr, "* Exported traces and analyses below are built from a truncated")
+		fmt.Fprintln(os.Stderr, "* stream. Raise -obs-max-events (or use 0 for unbounded).")
+		fmt.Fprintln(os.Stderr, strings.Repeat("*", 70))
 	}
 	if spans != nil && *chromeTrace != "" {
 		if err := writeTo(*chromeTrace, spans.WriteChromeTrace); err != nil {
@@ -202,6 +271,12 @@ func run() error {
 				return err
 			}
 		}
+	}
+	if *exportDir != "" {
+		if err := regress.WriteRunDir(*exportDir, reg, spans, res.Central); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "tgsim: run exported to %s (diff runs with tgdiff)\n", *exportDir)
 	}
 
 	var saveCSV func(name string, t *report.Table) error
@@ -228,7 +303,7 @@ func run() error {
 		fmt.Printf("jobs=%d NUs=%.0f users=%d events=%d\n",
 			len(res.Central.Jobs()), res.Central.TotalNUs(),
 			res.Central.DistinctUsers(), res.Kernel.Executed())
-		return printProfile(res)
+		return epilogue()
 	}
 
 	fmt.Printf("tgsim: %s federation, %d cores, %.1f simulated days, policy=%s, seed=%d\n",
@@ -318,7 +393,50 @@ func run() error {
 	if err := saveCSV("machines", util); err != nil {
 		return err
 	}
-	return printProfile(res)
+
+	// Wait decomposition and critical paths (the trace-analysis layer).
+	if *analysisFlag {
+		fmt.Println()
+		ts, err := analysis.Reconstruct(spans.Events())
+		if err != nil {
+			return err
+		}
+		decomp := analysis.DecompositionTable(analysis.Decompose(ts))
+		if err := decomp.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		if err := saveCSV("decomposition", decomp); err != nil {
+			return err
+		}
+		if ts.Incomplete > 0 || ts.UnattributedTransfers > 0 {
+			fmt.Printf("(%d jobs still queued or running at trace end; %d transfers not job-bound)\n",
+				ts.Incomplete, ts.UnattributedTransfers)
+		}
+		fmt.Println()
+		cp := analysis.CriticalPathTable(analysis.CriticalPaths(res.Central.Jobs()), 10)
+		if err := cp.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		if err := saveCSV("critical_paths", cp); err != nil {
+			return err
+		}
+	}
+
+	// SLO conformance.
+	if sloEval != nil {
+		fmt.Println()
+		tab := sloEval.Table()
+		if err := tab.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		if err := saveCSV("slo", tab); err != nil {
+			return err
+		}
+		if failed := sloEval.Failed(); len(failed) > 0 {
+			fmt.Printf("SLO objectives MISSED: %s\n", strings.Join(failed, ", "))
+		}
+	}
+	return epilogue()
 }
 
 // printProfile renders the kernel self-profile when one was collected.

@@ -167,8 +167,11 @@ func (b *Bank) Refund(id string, nus float64) error {
 
 // TotalAwarded and TotalUsed aggregate across the bank.
 func (b *Bank) TotalAwarded() float64 {
+	// Summed in sorted project order: float addition is not associative, so
+	// map-order summation makes the low bits (and any exposition built on
+	// them) vary from process to process.
 	t := 0.0
-	for _, p := range b.projects {
+	for _, p := range b.Projects() {
 		t += p.AwardedNUs
 	}
 	return t
@@ -177,7 +180,7 @@ func (b *Bank) TotalAwarded() float64 {
 // TotalUsed returns gross NUs charged across all projects.
 func (b *Bank) TotalUsed() float64 {
 	t := 0.0
-	for _, p := range b.projects {
+	for _, p := range b.Projects() {
 		t += p.usedNUs
 	}
 	return t

@@ -1,0 +1,127 @@
+// Latency decomposition: end-to-end job latency split into its causal
+// components per usage modality. The split is exact by construction —
+// wait + requeue-wait + lost-run + run == end-to-end for every complete
+// job — so the table's components always sum to the total, and the
+// cross-validation test holds the sums against accounting-derived waits.
+package analysis
+
+import (
+	"github.com/tgsim/tgmod/internal/job"
+	"github.com/tgsim/tgmod/internal/report"
+)
+
+// ModalityDecomp aggregates latency components over one modality's
+// complete jobs. All sums are virtual seconds.
+type ModalityDecomp struct {
+	Modality  string
+	Jobs      int // complete jobs aggregated
+	Preempted int // of which were preempted at least once
+
+	WaitSeconds        float64 // initial queue wait
+	RequeueWaitSeconds float64 // wait re-accumulated after preemptions
+	LostRunSeconds     float64 // execution discarded by preemptions
+	RunSeconds         float64 // productive (terminal) execution
+	EndToEndSeconds    float64 // submit → terminal state
+	TransferSeconds    float64 // attributed staging (overlay, not a slice)
+}
+
+// MeanWait returns the mean initial wait.
+func (d ModalityDecomp) MeanWait() float64 { return safeDiv(d.WaitSeconds, d.Jobs) }
+
+// MeanEndToEnd returns the mean end-to-end latency.
+func (d ModalityDecomp) MeanEndToEnd() float64 { return safeDiv(d.EndToEndSeconds, d.Jobs) }
+
+// WaitShare returns the fraction of end-to-end latency spent not running
+// (wait + requeue + lost work).
+func (d ModalityDecomp) WaitShare() float64 {
+	if d.EndToEndSeconds == 0 {
+		return 0
+	}
+	return (d.WaitSeconds + d.RequeueWaitSeconds + d.LostRunSeconds) / d.EndToEndSeconds
+}
+
+func safeDiv(sum float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// modalityOrder returns the canonical row order: the taxonomy order, then
+// unknown, so tables are stable across runs.
+func modalityOrder() []string {
+	out := make([]string, 0, len(job.AllModalities)+1)
+	for _, m := range job.AllModalities {
+		out = append(out, string(m))
+	}
+	return append(out, string(job.ModUnknown))
+}
+
+// Decompose aggregates complete timelines per modality. Jobs with no
+// recorded modality fall into "unknown". Incomplete timelines are excluded
+// (their components are not yet defined) and reported via TraceSet.
+func Decompose(ts *TraceSet) []ModalityDecomp {
+	byMod := make(map[string]*ModalityDecomp)
+	for _, tl := range ts.Jobs {
+		if !tl.Complete() {
+			continue
+		}
+		mod := tl.Modality
+		if mod == "" {
+			mod = string(job.ModUnknown)
+		}
+		d := byMod[mod]
+		if d == nil {
+			d = &ModalityDecomp{Modality: mod}
+			byMod[mod] = d
+		}
+		d.Jobs++
+		if tl.Preemptions() > 0 {
+			d.Preempted++
+		}
+		d.WaitSeconds += float64(tl.FirstWait())
+		d.RequeueWaitSeconds += float64(tl.RequeueWait())
+		d.LostRunSeconds += float64(tl.LostRun())
+		d.RunSeconds += float64(tl.FinalRun())
+		d.EndToEndSeconds += float64(tl.EndToEnd())
+		d.TransferSeconds += tl.TransferSeconds()
+	}
+	var out []ModalityDecomp
+	for _, mod := range modalityOrder() {
+		if d := byMod[mod]; d != nil {
+			out = append(out, *d)
+		}
+	}
+	return out
+}
+
+// DecompositionTable renders the per-modality latency decomposition.
+// Component columns are per-job means in seconds; wait% is the non-running
+// share of end-to-end latency.
+func DecompositionTable(ds []ModalityDecomp) *report.Table {
+	t := report.NewTable("Wait decomposition by modality (per-job mean seconds)",
+		"modality", "jobs", "preempted", "wait", "requeue", "lost run", "run", "end-to-end", "wait%", "transfer")
+	var total ModalityDecomp
+	total.Modality = "ALL"
+	for _, d := range ds {
+		t.AddRowf(d.Modality, d.Jobs, d.Preempted,
+			d.MeanWait(), safeDiv(d.RequeueWaitSeconds, d.Jobs),
+			safeDiv(d.LostRunSeconds, d.Jobs), safeDiv(d.RunSeconds, d.Jobs),
+			d.MeanEndToEnd(), report.Percent(d.WaitShare()),
+			safeDiv(d.TransferSeconds, d.Jobs))
+		total.Jobs += d.Jobs
+		total.Preempted += d.Preempted
+		total.WaitSeconds += d.WaitSeconds
+		total.RequeueWaitSeconds += d.RequeueWaitSeconds
+		total.LostRunSeconds += d.LostRunSeconds
+		total.RunSeconds += d.RunSeconds
+		total.EndToEndSeconds += d.EndToEndSeconds
+		total.TransferSeconds += d.TransferSeconds
+	}
+	t.AddRowf(total.Modality, total.Jobs, total.Preempted,
+		total.MeanWait(), safeDiv(total.RequeueWaitSeconds, total.Jobs),
+		safeDiv(total.LostRunSeconds, total.Jobs), safeDiv(total.RunSeconds, total.Jobs),
+		total.MeanEndToEnd(), report.Percent(total.WaitShare()),
+		safeDiv(total.TransferSeconds, total.Jobs))
+	return t
+}

@@ -1,0 +1,348 @@
+// Package analysis is the post-hoc trace-analysis layer: it reconstructs
+// per-job causal timelines from obs.Event streams (submit → queue wait →
+// run, through preemption requeues, with attributed data-transfer
+// segments), decomposes end-to-end latency into wait/run/preempt/transfer
+// components per usage modality, and extracts critical paths through
+// workflow and ensemble campaigns from accounting records.
+//
+// The obs layer records *what happened*; this package answers *why it took
+// that long*. It consumes the same event stream whether held in memory
+// (tgsim -analysis) or reloaded from a JSONL export (cmd/tgdiff), so live
+// runs and archived runs analyze identically.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tgsim/tgmod/internal/des"
+	"github.com/tgsim/tgmod/internal/obs"
+)
+
+// SegmentKind classifies one interval of a job's timeline.
+type SegmentKind int
+
+// Timeline segment kinds.
+const (
+	SegWait SegmentKind = iota // queued, waiting for cores
+	SegRun                     // executing
+)
+
+// String returns the lowercase kind name.
+func (k SegmentKind) String() string {
+	switch k {
+	case SegWait:
+		return "wait"
+	case SegRun:
+		return "run"
+	default:
+		return fmt.Sprintf("segment(%d)", int(k))
+	}
+}
+
+// Segment is one contiguous interval of a job's lifecycle. Open segments
+// (End unset) belong to jobs still queued or running when the trace ended.
+type Segment struct {
+	Kind  SegmentKind
+	Start des.Time
+	End   des.Time
+	Open  bool
+	// EndState is the recorded terminal state of a run segment
+	// ("completed", "killed", "preempted"); empty for waits and open runs.
+	EndState string
+}
+
+// Duration returns the segment length (0 for open segments).
+func (s Segment) Duration() des.Time {
+	if s.Open || s.End < s.Start {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// TransferSeg is one WAN transfer attributed to a job.
+type TransferSeg struct {
+	ID    int64
+	Start des.Time
+	End   des.Time
+	Open  bool
+	Bytes int64
+}
+
+// JobTimeline is the reconstructed causal history of one job.
+type JobTimeline struct {
+	ID       int64
+	Machine  string
+	User     string
+	QOS      string
+	Modality string // ground-truth modality from the span args ("" → unknown)
+	Cores    int64
+
+	Submit   des.Time
+	Segments []Segment
+	// Transfers attributed to this job (stage-in/stage-out); they may
+	// precede Submit, since data-centric jobs stage input before submitting.
+	Transfers []TransferSeg
+}
+
+// Complete reports whether the job reached a terminal state inside the
+// trace: every segment closed and the last run ended completed or killed.
+func (t *JobTimeline) Complete() bool {
+	if len(t.Segments) == 0 {
+		return false
+	}
+	last := t.Segments[len(t.Segments)-1]
+	return !last.Open && last.Kind == SegRun &&
+		(last.EndState == "completed" || last.EndState == "killed")
+}
+
+// End returns the time of the last closed segment boundary.
+func (t *JobTimeline) End() des.Time {
+	end := t.Submit
+	for _, s := range t.Segments {
+		if !s.Open && s.End > end {
+			end = s.End
+		}
+	}
+	return end
+}
+
+// FirstWait returns the initial queue wait (submission to first start).
+func (t *JobTimeline) FirstWait() des.Time {
+	if len(t.Segments) > 0 && t.Segments[0].Kind == SegWait {
+		return t.Segments[0].Duration()
+	}
+	return 0
+}
+
+// RequeueWait returns wait accumulated after preemptions (all wait
+// segments beyond the first).
+func (t *JobTimeline) RequeueWait() des.Time {
+	var sum des.Time
+	first := true
+	for _, s := range t.Segments {
+		if s.Kind != SegWait {
+			continue
+		}
+		if first {
+			first = false
+			continue
+		}
+		sum += s.Duration()
+	}
+	return sum
+}
+
+// LostRun returns execution time discarded by preemptions (run segments
+// that ended preempted; without checkpointing the work restarts from
+// scratch).
+func (t *JobTimeline) LostRun() des.Time {
+	var sum des.Time
+	for _, s := range t.Segments {
+		if s.Kind == SegRun && s.EndState == "preempted" {
+			sum += s.Duration()
+		}
+	}
+	return sum
+}
+
+// FinalRun returns the productive run (the terminal run segment).
+func (t *JobTimeline) FinalRun() des.Time {
+	if !t.Complete() {
+		return 0
+	}
+	return t.Segments[len(t.Segments)-1].Duration()
+}
+
+// LastStart returns the start time of the final run segment (the value
+// accounting records as StartTime).
+func (t *JobTimeline) LastStart() des.Time {
+	for i := len(t.Segments) - 1; i >= 0; i-- {
+		if t.Segments[i].Kind == SegRun {
+			return t.Segments[i].Start
+		}
+	}
+	return t.Submit
+}
+
+// EndToEnd returns submission-to-termination latency for complete jobs.
+func (t *JobTimeline) EndToEnd() des.Time {
+	if !t.Complete() {
+		return 0
+	}
+	return t.End() - t.Submit
+}
+
+// Preemptions counts preempted run segments.
+func (t *JobTimeline) Preemptions() int {
+	n := 0
+	for _, s := range t.Segments {
+		if s.Kind == SegRun && s.EndState == "preempted" {
+			n++
+		}
+	}
+	return n
+}
+
+// TransferSeconds returns the total attributed transfer time. Transfers
+// model staging alongside (not inside) the queue/run path, so this is an
+// overlay component, not a slice of end-to-end latency.
+func (t *JobTimeline) TransferSeconds() float64 {
+	var sum float64
+	for _, tr := range t.Transfers {
+		if !tr.Open && tr.End > tr.Start {
+			sum += float64(tr.End - tr.Start)
+		}
+	}
+	return sum
+}
+
+// TraceSet is the reconstruction of one run's event stream.
+type TraceSet struct {
+	// Jobs in order of first appearance (submission order, since the
+	// kernel records events in execution order).
+	Jobs []*JobTimeline
+
+	// Rejected counts jobs turned away at submission (they never queue, so
+	// they have no timeline).
+	Rejected int
+	// Incomplete counts timelines with open segments — jobs still queued
+	// or running when the trace ended (or truncated by a buffer cap).
+	Incomplete int
+	// UnattributedTransfers counts transfers with no job binding.
+	UnattributedTransfers int
+
+	byID map[int64]*JobTimeline
+}
+
+// Job returns the timeline for a job ID (nil when absent).
+func (ts *TraceSet) Job(id int64) *JobTimeline { return ts.byID[id] }
+
+// pendingTransfer tracks an open transfer span during reconstruction.
+type pendingTransfer struct {
+	seg   TransferSeg
+	jobID int64
+}
+
+// Reconstruct rebuilds per-job timelines from an event stream in recorded
+// order. It is tolerant of truncated streams (a capped obs.Buffer keeps a
+// contiguous prefix): spans left open are marked Open and their jobs
+// counted Incomplete rather than rejected as errors. Genuinely malformed
+// streams — an end with no matching begin — do error, because silently
+// skipping them would make every derived number quietly wrong.
+func Reconstruct(events []obs.Event) (*TraceSet, error) {
+	ts := &TraceSet{byID: make(map[int64]*JobTimeline)}
+	openXfer := make(map[int64]*pendingTransfer)
+	// Transfers finish before their job submits when input is staged ahead
+	// of submission, so attribution is resolved after the scan.
+	var doneXfer []pendingTransfer
+
+	for i, ev := range events {
+		switch {
+		case ev.Cat == "job" && (ev.Name == "wait" || ev.Name == "run"):
+			tl := ts.byID[ev.ID]
+			switch ev.Phase {
+			case obs.PhaseBegin:
+				if tl == nil {
+					if ev.Name == "run" {
+						return nil, fmt.Errorf("analysis: event %d: run began for job %d with no prior wait", i, ev.ID)
+					}
+					cores, _ := ev.ArgInt("cores")
+					tl = &JobTimeline{
+						ID:       ev.ID,
+						Machine:  ev.Track,
+						User:     ev.ArgString("user"),
+						QOS:      ev.ArgString("qos"),
+						Modality: ev.ArgString("mod"),
+						Cores:    cores,
+						Submit:   ev.At,
+					}
+					ts.byID[ev.ID] = tl
+					ts.Jobs = append(ts.Jobs, tl)
+				}
+				kind := SegWait
+				if ev.Name == "run" {
+					kind = SegRun
+				}
+				if n := len(tl.Segments); n > 0 && tl.Segments[n-1].Open {
+					return nil, fmt.Errorf("analysis: event %d: job %d began %s inside an open %s segment",
+						i, ev.ID, ev.Name, tl.Segments[n-1].Kind)
+				}
+				tl.Segments = append(tl.Segments, Segment{Kind: kind, Start: ev.At, Open: true})
+			case obs.PhaseEnd:
+				if tl == nil || len(tl.Segments) == 0 {
+					return nil, fmt.Errorf("analysis: event %d: %s ended for unknown job %d", i, ev.Name, ev.ID)
+				}
+				seg := &tl.Segments[len(tl.Segments)-1]
+				wantKind := SegWait
+				if ev.Name == "run" {
+					wantKind = SegRun
+				}
+				if !seg.Open || seg.Kind != wantKind {
+					return nil, fmt.Errorf("analysis: event %d: job %d ended %s without an open %s segment",
+						i, ev.ID, ev.Name, ev.Name)
+				}
+				seg.End = ev.At
+				seg.Open = false
+				if seg.Kind == SegRun {
+					seg.EndState = ev.ArgString("state")
+					if seg.EndState == "" {
+						seg.EndState = "completed"
+					}
+				}
+			}
+		case ev.Cat == "job" && ev.Name == "reject" && ev.Phase == obs.PhaseInstant:
+			ts.Rejected++
+		case ev.Cat == "net" && ev.Name == "transfer":
+			switch ev.Phase {
+			case obs.PhaseBegin:
+				jobID, _ := ev.ArgInt("job")
+				bytes, _ := ev.ArgInt("bytes")
+				openXfer[ev.ID] = &pendingTransfer{
+					seg:   TransferSeg{ID: ev.ID, Start: ev.At, Open: true, Bytes: bytes},
+					jobID: jobID,
+				}
+			case obs.PhaseEnd:
+				p := openXfer[ev.ID]
+				if p == nil {
+					return nil, fmt.Errorf("analysis: event %d: transfer %d ended without begin", i, ev.ID)
+				}
+				delete(openXfer, ev.ID)
+				p.seg.End = ev.At
+				p.seg.Open = false
+				doneXfer = append(doneXfer, *p)
+			}
+		}
+	}
+
+	// Attribute transfers now that every job that will ever appear has.
+	for _, p := range doneXfer {
+		if tl := ts.byID[p.jobID]; p.jobID != 0 && tl != nil {
+			tl.Transfers = append(tl.Transfers, p.seg)
+		} else {
+			ts.UnattributedTransfers++
+		}
+	}
+	// Open transfers attach in ID order so reconstruction is deterministic
+	// regardless of map iteration.
+	openIDs := make([]int64, 0, len(openXfer))
+	for id := range openXfer {
+		openIDs = append(openIDs, id)
+	}
+	sort.Slice(openIDs, func(i, j int) bool { return openIDs[i] < openIDs[j] })
+	for _, id := range openIDs {
+		p := openXfer[id]
+		if tl := ts.byID[p.jobID]; p.jobID != 0 && tl != nil {
+			tl.Transfers = append(tl.Transfers, p.seg)
+		} else {
+			ts.UnattributedTransfers++
+		}
+	}
+
+	for _, tl := range ts.Jobs {
+		if !tl.Complete() {
+			ts.Incomplete++
+		}
+	}
+	return ts, nil
+}

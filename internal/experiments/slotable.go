@@ -1,0 +1,26 @@
+package experiments
+
+import (
+	"github.com/tgsim/tgmod/internal/report"
+	"github.com/tgsim/tgmod/internal/scenario"
+	"github.com/tgsim/tgmod/internal/slo"
+)
+
+// SLOTable runs the standard scenario with the default virtual-time SLO
+// objectives attached and returns the end-of-run conformance table: one
+// row per objective with event counts, compliance against target, and
+// peak burn rates per window. Expected shape (EXPERIMENTS.md): urgent and
+// interactive meet their objectives easily, while capability-class waits
+// burn error budget under load.
+func SLOTable(seed uint64, sc Scale) (*report.Table, error) {
+	cfg := StandardConfig(seed, sc)
+	ev, err := slo.New()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Observe = scenario.Observe{SLO: ev}
+	if _, err := scenario.Run(cfg); err != nil {
+		return nil, err
+	}
+	return ev.Table(), nil
+}

@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSLOTable(t *testing.T) {
+	tab, err := SLOTable(testSeed, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 5 {
+		t.Fatalf("SLO rows = %d, want one per default objective", tab.Rows())
+	}
+	out := tab.String()
+	for _, want := range []string{"urgent-immediate", "interactive-p95-wait", "capability-wait"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SLO table missing %q:\n%s", want, out)
+		}
+	}
+	// The urgent objective must hold on the standard scenario: urgent jobs
+	// preempt their way onto machines, so waits near zero are structural.
+	for i := 0; i < tab.Rows(); i++ {
+		if tab.Cell(i, 0) == "urgent-immediate" && tab.Cell(i, 7) != "yes" {
+			t.Errorf("urgent-immediate not met:\n%s", out)
+		}
+	}
+}

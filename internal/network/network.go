@@ -197,6 +197,21 @@ func (f *Fabric) accumulate() {
 // Intra-site transfers complete after a fixed local-copy time derived from
 // an assumed 2 GB/s filesystem-to-filesystem path.
 func (f *Fabric) Start(src, dst string, bytes int64, streams int, done func(*Transfer)) (*Transfer, error) {
+	return f.StartOwned(src, dst, bytes, streams, Ownership{}, done)
+}
+
+// Ownership attributes a transfer to the work it serves.
+type Ownership struct {
+	User    string
+	Project string
+	JobID   int64
+}
+
+// StartOwned is Start with ownership attribution applied before the
+// OnStart hook fires, so lifecycle observers (span recorders, telemetry)
+// see the user/project/job binding from the first instant instead of a
+// post-hoc assignment racing the hook.
+func (f *Fabric) StartOwned(src, dst string, bytes int64, streams int, own Ownership, done func(*Transfer)) (*Transfer, error) {
 	if bytes <= 0 {
 		return nil, fmt.Errorf("network: non-positive transfer size %d", bytes)
 	}
@@ -207,6 +222,7 @@ func (f *Fabric) Start(src, dst string, bytes int64, streams int, done func(*Tra
 	tr := &Transfer{
 		ID: f.nextID, Src: src, Dst: dst, Bytes: bytes, Streams: streams,
 		StartedAt: f.K.Now(), remaining: float64(bytes), done: done,
+		User: own.User, Project: own.Project, JobID: own.JobID,
 	}
 	if src == dst {
 		f.intraSite++

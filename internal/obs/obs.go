@@ -42,6 +42,80 @@ type Event struct {
 	Args  []KV     // optional ordered arguments
 }
 
+// Arg returns the value recorded under key and whether it was present.
+// Linear scan: args are short (≤ 6 entries at every call site).
+func (ev Event) Arg(key string) (any, bool) {
+	for _, a := range ev.Args {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return nil, false
+}
+
+// ArgString returns the string recorded under key ("" when absent or not a
+// string).
+func (ev Event) ArgString(key string) string {
+	v, ok := ev.Arg(key)
+	if !ok {
+		return ""
+	}
+	s, _ := v.(string)
+	return s
+}
+
+// ArgInt returns the integer recorded under key. Events decoded from JSONL
+// may carry numeric args as float64; integral floats coerce losslessly.
+func (ev Event) ArgInt(key string) (int64, bool) {
+	v, ok := ev.Arg(key)
+	if !ok {
+		return 0, false
+	}
+	switch x := v.(type) {
+	case int:
+		return int64(x), true
+	case int64:
+		return x, true
+	case uint64:
+		return int64(x), true
+	case float64:
+		if x == float64(int64(x)) {
+			return int64(x), true
+		}
+	}
+	return 0, false
+}
+
+// ArgFloat returns the numeric value recorded under key.
+func (ev Event) ArgFloat(key string) (float64, bool) {
+	v, ok := ev.Arg(key)
+	if !ok {
+		return 0, false
+	}
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case int:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	case uint64:
+		return float64(x), true
+	}
+	return 0, false
+}
+
+// ArgBool returns the boolean recorded under key (false when absent or not
+// a bool).
+func (ev Event) ArgBool(key string) bool {
+	v, ok := ev.Arg(key)
+	if !ok {
+		return false
+	}
+	b, _ := v.(bool)
+	return b
+}
+
 // Recorder receives observability events. Implementations must be cheap:
 // recorders run inline with kernel event execution.
 type Recorder interface {

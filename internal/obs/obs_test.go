@@ -211,3 +211,115 @@ func TestBufferCap(t *testing.T) {
 		t.Errorf("cap 0: Len=%d Dropped=%d", z.Len(), z.Dropped())
 	}
 }
+
+func TestTypedArgAccessors(t *testing.T) {
+	ev := Event{Args: []KV{
+		{Key: "user", Value: "alice"},
+		{Key: "cores", Value: 128},
+		{Key: "id64", Value: int64(1 << 40)},
+		{Key: "frac", Value: 0.25},
+		{Key: "whole", Value: float64(9)},
+		{Key: "requeued", Value: true},
+	}}
+	if got := ev.ArgString("user"); got != "alice" {
+		t.Errorf("ArgString(user) = %q", got)
+	}
+	if got := ev.ArgString("missing"); got != "" {
+		t.Errorf("ArgString(missing) = %q", got)
+	}
+	if v, ok := ev.ArgInt("cores"); !ok || v != 128 {
+		t.Errorf("ArgInt(cores) = %d, %v", v, ok)
+	}
+	if v, ok := ev.ArgInt("id64"); !ok || v != 1<<40 {
+		t.Errorf("ArgInt(id64) = %d, %v", v, ok)
+	}
+	// Integral floats (the JSONL decode path) coerce; fractional do not.
+	if v, ok := ev.ArgInt("whole"); !ok || v != 9 {
+		t.Errorf("ArgInt(whole) = %d, %v", v, ok)
+	}
+	if _, ok := ev.ArgInt("frac"); ok {
+		t.Error("ArgInt(frac) should not coerce 0.25")
+	}
+	if v, ok := ev.ArgFloat("frac"); !ok || v != 0.25 {
+		t.Errorf("ArgFloat(frac) = %v, %v", v, ok)
+	}
+	if v, ok := ev.ArgFloat("cores"); !ok || v != 128 {
+		t.Errorf("ArgFloat(cores) = %v, %v", v, ok)
+	}
+	if !ev.ArgBool("requeued") {
+		t.Error("ArgBool(requeued) = false")
+	}
+	if ev.ArgBool("user") || ev.ArgBool("missing") {
+		t.Error("ArgBool must be false for non-bools and absent keys")
+	}
+	if _, ok := ev.Arg("nope"); ok {
+		t.Error("Arg(nope) reported present")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	b := NewBuffer()
+	Begin(b, 1.5, "job", "wait", "m1", 42,
+		KV{Key: "user", Value: "alice"},
+		KV{Key: "cores", Value: 64},
+		KV{Key: "qos", Value: "normal"},
+		KV{Key: "mod", Value: "workflow"})
+	End(b, 2.25, "job", "wait", "m1", 42)
+	Begin(b, 2.25, "job", "run", "m1", 42, KV{Key: "user", Value: "alice"})
+	End(b, 10, "job", "run", "m1", 42, KV{Key: "state", Value: "completed"})
+	Instant(b, 3, "gateway", "request", "nanohub",
+		KV{Key: "attributed", Value: true},
+		KV{Key: "job", Value: int64(7)})
+	Begin(b, 4, "net", "transfer", "wan", 9,
+		KV{Key: "src", Value: "harbor"}, KV{Key: "dst", Value: "mesa"},
+		KV{Key: "bytes", Value: int64(1 << 33)}, KV{Key: "job", Value: int64(0)})
+	End(b, 5, "net", "transfer", "wan", 9)
+
+	var out bytes.Buffer
+	if err := b.WriteJSONL(&out); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadJSONL(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != b.Len() {
+		t.Fatalf("decoded %d events, wrote %d", len(events), b.Len())
+	}
+	// Semantic spot checks.
+	if events[0].ArgString("mod") != "workflow" {
+		t.Errorf("decoded mod = %q", events[0].ArgString("mod"))
+	}
+	if v, ok := events[0].ArgInt("cores"); !ok || v != 64 {
+		t.Errorf("decoded cores = %d, %v", v, ok)
+	}
+	if !events[4].ArgBool("attributed") {
+		t.Error("decoded attributed lost")
+	}
+	// Re-encoding the decoded stream must be byte-identical: tgdiff treats
+	// the JSONL export as a stable interchange format.
+	rt := NewBuffer()
+	for _, ev := range events {
+		rt.Record(ev)
+	}
+	var out2 bytes.Buffer
+	if err := rt.WriteJSONL(&out2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), out2.Bytes()) {
+		t.Fatalf("JSONL round trip not byte-identical:\n%s\nvs\n%s", out.String(), out2.String())
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{not json}\n")); err == nil {
+		t.Error("malformed line accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"t":1,"ph":"xy","cat":"c","name":"n","track":"t"}` + "\n")); err == nil {
+		t.Error("multi-byte phase accepted")
+	}
+	events, err := ReadJSONL(strings.NewReader("\n\n"))
+	if err != nil || len(events) != 0 {
+		t.Errorf("blank input: %v, %d events", err, len(events))
+	}
+}

@@ -1,0 +1,105 @@
+// Diffing and reporting. The report is deterministic — series sorted by
+// name, values formatted with %v — so identical inputs produce
+// byte-identical text, which is itself part of the self-test contract.
+package regress
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Tolerance bounds how far a series may move before it counts as changed:
+// |a−b| > Abs + Rel·max(|a|,|b|). The zero value demands exact equality,
+// the right default for a deterministic simulator.
+type Tolerance struct {
+	Abs float64
+	Rel float64
+}
+
+// exceeded reports whether the a→b move is out of tolerance.
+func (t Tolerance) exceeded(a, b float64) bool {
+	return math.Abs(a-b) > t.Abs+t.Rel*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// Delta is one out-of-tolerance series.
+type Delta struct {
+	Series string
+	A, B   float64
+}
+
+// Report is the outcome of comparing two runs.
+type Report struct {
+	// Added/Removed list series present in only one run, sorted.
+	Added   []string
+	Removed []string
+	// Changed lists series that moved beyond tolerance, sorted by name.
+	Changed []Delta
+	// ASeries/BSeries count the compared series sets.
+	ASeries, BSeries int
+}
+
+// Empty reports a clean diff: same series, same values (within tolerance).
+func (r *Report) Empty() bool {
+	return len(r.Added) == 0 && len(r.Removed) == 0 && len(r.Changed) == 0
+}
+
+// Diff compares run A (the baseline) with run B (the candidate).
+func Diff(a, b map[string]float64, tol Tolerance) *Report {
+	rep := &Report{ASeries: len(a), BSeries: len(b)}
+	for k, av := range a {
+		bv, ok := b[k]
+		if !ok {
+			rep.Removed = append(rep.Removed, k)
+			continue
+		}
+		if tol.exceeded(av, bv) {
+			rep.Changed = append(rep.Changed, Delta{Series: k, A: av, B: bv})
+		}
+	}
+	for k := range b {
+		if _, ok := a[k]; !ok {
+			rep.Added = append(rep.Added, k)
+		}
+	}
+	sort.Strings(rep.Added)
+	sort.Strings(rep.Removed)
+	sort.Slice(rep.Changed, func(i, j int) bool { return rep.Changed[i].Series < rep.Changed[j].Series })
+	return rep
+}
+
+// WriteText renders the report. An empty report is a single line, so the
+// clean case is trivially byte-comparable in CI.
+func (r *Report) WriteText(w io.Writer) error {
+	if r.Empty() {
+		_, err := fmt.Fprintf(w, "no regressions: %d series identical\n", r.ASeries)
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "REGRESSIONS: %d changed, %d added, %d removed (%d vs %d series)\n",
+		len(r.Changed), len(r.Added), len(r.Removed), r.ASeries, r.BSeries); err != nil {
+		return err
+	}
+	for _, d := range r.Changed {
+		delta := d.B - d.A
+		sign := "+"
+		if delta < 0 {
+			sign = ""
+		}
+		if _, err := fmt.Fprintf(w, "  changed %s: %v -> %v (%s%v)\n",
+			d.Series, d.A, d.B, sign, delta); err != nil {
+			return err
+		}
+	}
+	for _, k := range r.Added {
+		if _, err := fmt.Fprintf(w, "  added   %s\n", k); err != nil {
+			return err
+		}
+	}
+	for _, k := range r.Removed {
+		if _, err := fmt.Fprintf(w, "  removed %s\n", k); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+// A minimal OpenMetrics text parser — just enough to reload the
+// simulator's own deterministic exposition. Sample lines are
+// "name{labels} value" or "name value"; the full series identity
+// (name plus label set, exactly as exposed) is the map key, so label
+// ordering differences would register as added/removed series rather
+// than silently aliasing.
+package regress
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseOpenMetrics reads a text exposition into series → value. Comment
+// lines (# HELP/# TYPE/# EOF) are skipped.
+func ParseOpenMetrics(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value follows the last space. Label values may contain spaces,
+		// but those all precede the closing brace, so the last space always
+		// separates the float value.
+		cut := strings.LastIndexByte(line, ' ')
+		if cut <= 0 || cut == len(line)-1 {
+			return nil, fmt.Errorf("openmetrics line %d: no value in %q", lineNo, line)
+		}
+		key, valStr := line[:cut], line[cut+1:]
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("openmetrics line %d: bad value %q: %v", lineNo, valStr, err)
+		}
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("openmetrics line %d: duplicate series %s", lineNo, key)
+		}
+		out[key] = v
+	}
+	return out, sc.Err()
+}

@@ -12,6 +12,7 @@ import (
 	"github.com/tgsim/tgmod/internal/network"
 	"github.com/tgsim/tgmod/internal/obs"
 	"github.com/tgsim/tgmod/internal/sched"
+	"github.com/tgsim/tgmod/internal/slo"
 )
 
 // installJobSpans emits the per-job lifecycle as async spans on the
@@ -28,7 +29,8 @@ func installJobSpans(rec obs.Recorder, k *des.Kernel, s *sched.Scheduler) {
 			obs.Begin(rec, now, "job", "wait", track, id,
 				obs.KV{Key: "user", Value: e.Job.User},
 				obs.KV{Key: "cores", Value: e.Job.Cores},
-				obs.KV{Key: "qos", Value: e.Job.QOS.String()})
+				obs.KV{Key: "qos", Value: e.Job.QOS.String()},
+				obs.KV{Key: "mod", Value: string(e.Job.Truth.Modality)})
 		case sched.EventStarted:
 			obs.End(rec, now, "job", "wait", track, id)
 			obs.Begin(rec, now, "job", "run", track, id,
@@ -46,6 +48,7 @@ func installJobSpans(rec obs.Recorder, k *des.Kernel, s *sched.Scheduler) {
 			obs.Begin(rec, now, "job", "wait", track, id,
 				obs.KV{Key: "user", Value: e.Job.User},
 				obs.KV{Key: "cores", Value: e.Job.Cores},
+				obs.KV{Key: "mod", Value: string(e.Job.Truth.Modality)},
 				obs.KV{Key: "requeued", Value: true})
 		case sched.EventRejected:
 			obs.Instant(rec, now, "job", "reject", track,
@@ -67,14 +70,37 @@ func installJobSpans(rec obs.Recorder, k *des.Kernel, s *sched.Scheduler) {
 	}
 }
 
+// installSLO scores the machine's job starts and rejections against the
+// evaluator's objectives. Only first starts are scored — a job's
+// Preemptions counter is still zero then — because the user-visible
+// promise is about time to first execution; requeues are already punished
+// through the wait they added before that first start ever happened, and
+// the trace-analysis layer accounts restart costs separately.
+func installSLO(ev *slo.Evaluator, k *des.Kernel, s *sched.Scheduler) {
+	s.Subscribe(func(e sched.Event) {
+		switch e.Kind {
+		case sched.EventStarted:
+			if e.Job.Preemptions == 0 {
+				now := k.Now()
+				ev.ObserveStart(now, e.Job.Truth.Modality, float64(now-e.Job.SubmitTime))
+			}
+		case sched.EventRejected:
+			ev.ObserveReject(k.Now(), e.Job.Truth.Modality)
+		}
+	})
+}
+
 // installTransferSpans emits every WAN transfer as an async span on the
 // shared "wan" track.
 func installTransferSpans(rec obs.Recorder, k *des.Kernel, f *network.Fabric) {
 	f.OnStart = func(tr *network.Transfer) {
+		// The job id (0 when the transfer is not job-bound) lets the
+		// analysis layer attribute staging time to job timelines.
 		obs.Begin(rec, k.Now(), "net", "transfer", "wan", tr.ID,
 			obs.KV{Key: "src", Value: tr.Src},
 			obs.KV{Key: "dst", Value: tr.Dst},
-			obs.KV{Key: "bytes", Value: tr.Bytes})
+			obs.KV{Key: "bytes", Value: tr.Bytes},
+			obs.KV{Key: "job", Value: tr.JobID})
 	}
 	f.OnComplete = func(tr *network.Transfer) {
 		obs.End(rec, k.Now(), "net", "transfer", "wan", tr.ID)

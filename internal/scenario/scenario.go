@@ -21,6 +21,7 @@ import (
 	"github.com/tgsim/tgmod/internal/obs"
 	"github.com/tgsim/tgmod/internal/sched"
 	"github.com/tgsim/tgmod/internal/simrand"
+	"github.com/tgsim/tgmod/internal/slo"
 	"github.com/tgsim/tgmod/internal/storage"
 	"github.com/tgsim/tgmod/internal/telemetry"
 	"github.com/tgsim/tgmod/internal/users"
@@ -102,12 +103,17 @@ type Observe struct {
 	// added) plus one final snapshot after the run completes. The sink runs
 	// on the simulation goroutine.
 	Snapshots func(*telemetry.Snapshot)
+	// SLO, when non-nil, scores job starts and rejections against
+	// virtual-time service-level objectives on the scheduler seam. When
+	// Registry is also set, the evaluator is bound to it as tg_slo_*
+	// families.
+	SLO *slo.Evaluator
 }
 
 // Enabled reports whether any observability feature is requested.
 func (o Observe) Enabled() bool {
 	return o.Recorder != nil || o.SamplePeriod > 0 || o.Profile ||
-		o.Registry != nil || o.Snapshots != nil
+		o.Registry != nil || o.Snapshots != nil || o.SLO != nil
 }
 
 // Config parameterizes a full simulation.
@@ -230,6 +236,12 @@ func Run(cfg Config) (*Result, error) {
 	}
 	k := des.New()
 	rec := cfg.Observe.Recorder
+	if ev := cfg.Observe.SLO; ev != nil {
+		// The evaluator reads the kernel clock for burn-rate exposition and
+		// surfaces tg_slo_* families when a registry is configured.
+		ev.Now = k.Now
+		ev.Bind(cfg.Observe.Registry)
+	}
 	var profiler *obs.KernelProfiler
 	if cfg.Observe.Profile {
 		// Created now, installed with the other tracers just before the run.
@@ -338,6 +350,9 @@ func Run(cfg Config) (*Result, error) {
 		})
 		if rec != nil {
 			installJobSpans(rec, k, s)
+		}
+		if cfg.Observe.SLO != nil {
+			installSLO(cfg.Observe.SLO, k, s)
 		}
 	}
 	if rec != nil {

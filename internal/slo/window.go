@@ -1,0 +1,67 @@
+package slo
+
+import "github.com/tgsim/tgmod/internal/des"
+
+// ring is a fixed-size ring of good/bad buckets over virtual time. Buckets
+// are absolute-indexed — bucket i covers [i·width, (i+1)·width) — so the
+// ring always represents the trailing len(buckets)·width of virtual time
+// and advancing is just zeroing the buckets the clock skipped over. State
+// is O(buckets) regardless of event rate.
+type ring struct {
+	width   des.Time
+	buckets []bucket
+	lastIdx int64 // absolute index of the bucket holding lastObs
+	primed  bool  // false until the first add
+}
+
+type bucket struct{ good, bad int64 }
+
+func newRing(width des.Time, n int) *ring {
+	return &ring{width: width, buckets: make([]bucket, n)}
+}
+
+// idx maps a time to its absolute bucket index.
+func (r *ring) idx(t des.Time) int64 { return int64(t / r.width) }
+
+// advance rolls the ring forward to now, clearing buckets whose time span
+// has rotated out. A full lap clears everything.
+func (r *ring) advance(now des.Time) {
+	i := r.idx(now)
+	if !r.primed {
+		r.primed = true
+		r.lastIdx = i
+		return
+	}
+	if i <= r.lastIdx {
+		return // same bucket, or an out-of-order observation: nothing expires
+	}
+	steps := i - r.lastIdx
+	if steps > int64(len(r.buckets)) {
+		steps = int64(len(r.buckets))
+	}
+	for s := int64(1); s <= steps; s++ {
+		r.buckets[(r.lastIdx+s)%int64(len(r.buckets))] = bucket{}
+	}
+	r.lastIdx = i
+}
+
+// add records one observation at time now.
+func (r *ring) add(now des.Time, good bool) {
+	r.advance(now)
+	b := &r.buckets[r.idx(now)%int64(len(r.buckets))]
+	if good {
+		b.good++
+	} else {
+		b.bad++
+	}
+}
+
+// totals returns the in-window good/bad counts as of now.
+func (r *ring) totals(now des.Time) (good, bad int64) {
+	r.advance(now)
+	for _, b := range r.buckets {
+		good += b.good
+		bad += b.bad
+	}
+	return good, bad
+}

@@ -196,7 +196,10 @@ func (s *Stager) Stage(src, dst string, bytes int64, user, project string, jobID
 		return nil
 	}
 	// Bulk staging uses 4-way striping, the common GridFTP default.
-	tr, err := s.Fabric.Start(src, dst, bytes, 4, func(tr *network.Transfer) {
+	// Ownership rides in on the transfer itself so start-of-life observers
+	// already see the user/project/job binding.
+	own := network.Ownership{User: user, Project: project, JobID: jobID}
+	_, err := s.Fabric.StartOwned(src, dst, bytes, 4, own, func(tr *network.Transfer) {
 		s.staged++
 		if s.OnTransfer != nil {
 			s.OnTransfer(tr)
@@ -205,11 +208,5 @@ func (s *Stager) Stage(src, dst string, bytes int64, user, project string, jobID
 			done()
 		}
 	})
-	if err != nil {
-		return err
-	}
-	tr.User = user
-	tr.Project = project
-	tr.JobID = jobID
-	return nil
+	return err
 }

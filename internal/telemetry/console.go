@@ -6,10 +6,12 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
 	"sync/atomic"
+	"time"
 )
 
 // Console serves the live run console: /metrics (OpenMetrics), /status
@@ -18,6 +20,7 @@ import (
 type Console struct {
 	snap    atomic.Pointer[Snapshot]
 	metrics atomic.Pointer[[]byte]
+	srv     *http.Server
 }
 
 // NewConsole returns a console with an empty snapshot, so endpoints are
@@ -66,15 +69,32 @@ func (c *Console) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Serve starts the console's HTTP server on addr (e.g. ":8080"; ":0" picks
 // a free port) in a background goroutine and returns the bound address.
-// The listener lives until the process exits — the console is a run-scoped
-// diagnostic, not a managed service.
+// Stop it with Close; an unclosed console lives until the process exits.
 func (c *Console) Serve(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
-	go http.Serve(ln, c)
+	c.srv = &http.Server{Handler: c}
+	go c.srv.Serve(ln)
 	return ln.Addr().String(), nil
+}
+
+// Close gracefully shuts the console down: the listener stops accepting,
+// in-flight requests get up to timeout to finish, and stragglers are then
+// cut off. No-op when Serve was never called (or already closed).
+func (c *Console) Close(timeout time.Duration) error {
+	if c.srv == nil {
+		return nil
+	}
+	srv := c.srv
+	c.srv = nil
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return srv.Close()
+	}
+	return nil
 }
 
 // dashboardHTML is the self-contained dashboard: no external assets, no

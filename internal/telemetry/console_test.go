@@ -170,3 +170,34 @@ func TestSnapshotLine(t *testing.T) {
 		t.Errorf("done line %q", s.Line())
 	}
 }
+
+func TestConsoleServeAndClose(t *testing.T) {
+	c := NewConsole()
+	addr, err := c.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "# EOF\n" {
+		t.Errorf("served metrics = %q", body)
+	}
+	if err := c.Close(time.Second); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	// The listener is gone: new connections must fail.
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("connection succeeded after Close")
+	}
+	// Closing again (or a never-served console) is a no-op.
+	if err := c.Close(time.Second); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if err := (&Console{}).Close(time.Second); err != nil {
+		t.Errorf("unserved Close: %v", err)
+	}
+}
