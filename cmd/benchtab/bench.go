@@ -15,7 +15,8 @@ import (
 
 // benchSchemaVersion identifies the BENCH_*.json layout; bump it on any
 // field change so history tooling can tell records apart.
-const benchSchemaVersion = 1
+// v2 added the fleet section (replication-fleet scaling figures).
+const benchSchemaVersion = 2
 
 // BenchRecord is one point on the performance trajectory: what was built
 // (git describe), how it was run (seed, scale, host), how fast the kernel
@@ -29,6 +30,7 @@ type BenchRecord struct {
 	Seed        uint64             `json:"seed"`
 	Scale       string             `json:"scale"`
 	Kernel      BenchKernel        `json:"kernel"`
+	Fleet       *BenchFleet        `json:"fleet,omitempty"`
 	Experiments map[string]float64 `json:"experiments_wall_s"`
 }
 
@@ -43,6 +45,43 @@ type BenchKernel struct {
 	EventsPerSec float64 `json:"events_per_sec"`
 	PeakFEL      int     `json:"peak_fel"`
 	JobsFinished int     `json:"jobs_finished"`
+}
+
+// BenchFleet holds replication-fleet scaling figures from the FL
+// experiment: the same Reps-replication fleet timed sequentially and at
+// the widest worker count, with the wall-clock speedup between them and
+// the parallel fleet's aggregate event throughput. Speedup near the
+// worker count means replications scale linearly (no shared state, no
+// contention); on a single-core host the two walls coincide and the
+// speedup is ~1 by construction.
+type BenchFleet struct {
+	Reps           int     `json:"reps"`
+	Workers        int     `json:"workers"`
+	WallSeqSeconds float64 `json:"wall_seq_s"`
+	WallParSeconds float64 `json:"wall_par_s"`
+	Speedup        float64 `json:"speedup"`
+	EventsPerSec   float64 `json:"events_per_sec_aggregate"`
+}
+
+// measureFleet runs the FL scaling experiment and condenses it to the
+// sequential-vs-widest comparison the record tracks.
+func measureFleet(seed uint64, sc experiments.Scale) (*BenchFleet, error) {
+	_, rows, err := experiments.FLFleetScaling(seed, sc)
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	return &BenchFleet{
+		Reps:           last.Reps,
+		Workers:        last.Workers,
+		WallSeqSeconds: first.Wall,
+		WallParSeconds: last.Wall,
+		Speedup:        last.Speedup,
+		EventsPerSec:   last.EventsSec,
+	}, nil
 }
 
 // measureKernel times the standard scenario and extracts kernel stats.
@@ -84,6 +123,10 @@ func writeBenchRecord(path string, seed uint64, scaleName string, sc experiments
 	if err != nil {
 		return fmt.Errorf("kernel measurement: %w", err)
 	}
+	flt, err := measureFleet(seed, sc)
+	if err != nil {
+		return fmt.Errorf("fleet measurement: %w", err)
+	}
 	rec := BenchRecord{
 		Schema:      benchSchemaVersion,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -92,6 +135,7 @@ func writeBenchRecord(path string, seed uint64, scaleName string, sc experiments
 		Seed:        seed,
 		Scale:       scaleName,
 		Kernel:      kern,
+		Fleet:       flt,
 		Experiments: wall,
 	}
 	data, err := json.MarshalIndent(&rec, "", "  ")

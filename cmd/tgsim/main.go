@@ -12,6 +12,13 @@
 //	      [-obs-sample-hours H] [-obs-max-events N] [-strict-obs] [-profile]
 //	      [-slo] [-analysis] [-export DIR]
 //	      [-http :PORT] [-http-hold] [-progress]
+//	      [-reps N] [-parallel P]
+//
+// With -reps N > 1 tgsim runs a replication fleet: N independent
+// replications at seeds seed..seed+N-1 across P workers, reporting
+// mean ± 95% CI tables instead of single-run point estimates. Per-run
+// observability flags are ignored in fleet mode; -export writes the
+// merged fleet metrics.
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"github.com/tgsim/tgmod/internal/core"
 	"github.com/tgsim/tgmod/internal/des"
 	"github.com/tgsim/tgmod/internal/experiments"
+	"github.com/tgsim/tgmod/internal/fleet"
 	"github.com/tgsim/tgmod/internal/obs"
 	"github.com/tgsim/tgmod/internal/regress"
 	"github.com/tgsim/tgmod/internal/report"
@@ -71,28 +79,31 @@ func run() error {
 	analysisFlag := flag.Bool("analysis", false, "reconstruct job timelines and print wait-decomposition and critical-path tables")
 	exportDir := flag.String("export", "", "write the run's exports (metrics.om, obs.jsonl, acct.jsonl) into this directory for tgdiff")
 	strictObs := flag.Bool("strict-obs", false, "exit non-zero when the span buffer dropped events")
+	reps := flag.Int("reps", 1, "run a replication fleet of N seeds (seed, seed+1, ...) and report mean ± 95% CI tables")
+	parallel := flag.Int("parallel", 0, "fleet worker count (with -reps; 0 = GOMAXPROCS)")
 	flag.Parse()
 
-	var cfg scenario.Config
-	if *configPath != "" {
-		f, err := os.Open(*configPath)
-		if err != nil {
-			return err
+	// buildCfg rebuilds the scenario for a seed. Single runs call it once;
+	// fleet mode calls it once per replication so every replication gets
+	// private (stateful) workload generators.
+	buildCfg := func(seed uint64) (scenario.Config, error) {
+		if *configPath != "" {
+			f, err := os.Open(*configPath)
+			if err != nil {
+				return scenario.Config{}, err
+			}
+			cf, err := scenario.DecodeConfigFile(f)
+			f.Close()
+			if err != nil {
+				return scenario.Config{}, err
+			}
+			return cf.ToConfig()
 		}
-		cf, err := scenario.DecodeConfigFile(f)
-		f.Close()
-		if err != nil {
-			return err
-		}
-		cfg, err = cf.ToConfig()
-		if err != nil {
-			return err
-		}
-	} else {
 		pol, err := scenario.ParsePolicy(*policy)
 		if err != nil {
-			return err
+			return scenario.Config{}, err
 		}
+		var cfg scenario.Config
 		if *scale != "" {
 			// The standard measurement scenario the experiments and CI use,
 			// so CLI runs are directly comparable with published tables.
@@ -103,12 +114,13 @@ func run() error {
 			case "full":
 				sc = experiments.Full
 			default:
-				return fmt.Errorf("unknown -scale %q (want quick or full)", *scale)
+				return scenario.Config{}, fmt.Errorf("unknown -scale %q (want quick or full)", *scale)
 			}
-			cfg = experiments.StandardConfig(*seed, sc)
+			cfg = experiments.StandardConfig(seed, sc)
 		} else {
-			cfg = scenario.DefaultConfig(*seed)
-			cfg.Horizon = des.Time(*days) * des.Day
+			cfg = scenario.New(seed,
+				scenario.WithHorizon(des.Time(*days)*des.Day),
+			)
 			cfg.DrainTime = cfg.Horizon / 8
 		}
 		cfg.Policy = pol
@@ -116,6 +128,20 @@ func run() error {
 			cfg.MaintenanceEvery = des.Time(*maintDays) * des.Day
 			cfg.MaintenanceLength = des.Time(*maintHours) * des.Hour
 		}
+		return cfg, nil
+	}
+
+	cfg, err := buildCfg(*seed)
+	if err != nil {
+		return err
+	}
+
+	if *reps > 1 {
+		// Fleet mode: per-run observability flags (tracing, SLOs, the run
+		// console, profiles) describe ONE kernel and do not compose across
+		// N concurrent replications, so they are ignored here; -export
+		// writes the merged fleet metrics instead of a single run dir.
+		return runFleetMode(*reps, *parallel, *seed, buildCfg, *quiet, *exportDir, *csvDir)
 	}
 	// Observability applies regardless of where the config came from. The
 	// span buffer is needed by any consumer of the event stream: trace
@@ -437,6 +463,76 @@ func run() error {
 		}
 	}
 	return epilogue()
+}
+
+// runFleetMode executes -reps replications in parallel and prints the
+// cross-replication tables: fleet summary, per-modality usage with 95%
+// confidence intervals, and per-mechanism usage with CIs.
+func runFleetMode(reps, parallel int, baseSeed uint64,
+	buildCfg func(uint64) (scenario.Config, error), quiet bool, exportDir, csvDir string) error {
+	// Validate the configuration once, eagerly, so flag errors surface
+	// before N workers each trip over them.
+	if _, err := buildCfg(baseSeed); err != nil {
+		return err
+	}
+	res, err := fleet.Run(fleet.Spec{
+		Reps:     reps,
+		Parallel: parallel,
+		BaseSeed: baseSeed,
+		Build: func(seed uint64) scenario.Config {
+			cfg, err := buildCfg(seed)
+			if err != nil {
+				panic(err) // validated above; the fleet reports a panic as the rep's error
+			}
+			return cfg
+		},
+	})
+	if res == nil {
+		return err
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tgsim: fleet:", err)
+	}
+
+	if exportDir != "" {
+		if werr := regress.WriteRunDir(exportDir, res.Merged, nil, nil); werr != nil {
+			return werr
+		}
+		fmt.Fprintf(os.Stderr, "tgsim: merged fleet metrics exported to %s\n", exportDir)
+	}
+
+	if quiet {
+		fmt.Printf("reps=%d ok=%d workers=%d events=%d wall=%.3fs events_per_sec=%.0f\n",
+			len(res.Reps), res.Succeeded(), res.Workers,
+			res.TotalEvents(), res.Wall, res.EventsPerSec())
+		return err
+	}
+
+	tables := []struct {
+		name string
+		t    *report.Table
+	}{
+		{"fleet", res.SummaryTable()},
+		{"modality_ci", res.ModalityTable()},
+		{"mechanism_ci", res.MechanismTable()},
+	}
+	for i, entry := range tables {
+		if i > 0 {
+			fmt.Println()
+		}
+		if werr := entry.t.WriteText(os.Stdout); werr != nil {
+			return werr
+		}
+		if csvDir != "" {
+			if werr := os.MkdirAll(csvDir, 0o755); werr != nil {
+				return werr
+			}
+			if werr := writeTo(filepath.Join(csvDir, entry.name+".csv"), entry.t.WriteCSV); werr != nil {
+				return werr
+			}
+		}
+	}
+	return err
 }
 
 // printProfile renders the kernel self-profile when one was collected.

@@ -24,12 +24,11 @@ func main() {
 	t := report.NewTable("Gateway visibility vs attribute coverage",
 		"coverage", "gateway jobs", "attributed", "accounts", "recovered users", "gateway F1")
 	for _, coverage := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
-		cfg := scenario.DefaultConfig(1234)
-		cfg.Horizon = 10 * des.Day
-		cfg.DrainTime = 2 * des.Day
-		for i := range cfg.Gateways {
-			cfg.Gateways[i].AttrCoverage = coverage
-		}
+		cfg := scenario.New(1234,
+			scenario.WithHorizon(10*des.Day),
+			scenario.WithDrain(2*des.Day),
+			scenario.WithGatewayCoverage(coverage),
+		)
 		res, err := scenario.Run(cfg)
 		if err != nil {
 			log.Fatal(err)

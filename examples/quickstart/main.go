@@ -21,9 +21,10 @@ import (
 
 func main() {
 	// 1. Configure a scenario: the TG9 federation, default workload mix.
-	cfg := scenario.DefaultConfig(42)
-	cfg.Horizon = 14 * des.Day
-	cfg.DrainTime = 3 * des.Day
+	cfg := scenario.New(42,
+		scenario.WithHorizon(14*des.Day),
+		scenario.WithDrain(3*des.Day),
+	)
 
 	// 2. Run the simulation.
 	res, err := scenario.Run(cfg)

@@ -144,16 +144,25 @@ type Packet struct {
 	Storage      []StorageRecord     `json:"storage,omitempty"`
 }
 
-// Encode serializes the packet to its wire form.
-func (p *Packet) Encode() ([]byte, error) { return json.Marshal(p) }
+// Encode serializes the packet to its wire form — the binary codec in
+// wire.go. EncodeJSON remains for tools that want a readable packet.
+func (p *Packet) Encode() ([]byte, error) { return p.encodeWire(), nil }
 
-// DecodePacket parses a wire-form packet.
+// EncodeJSON serializes the packet as JSON, the legacy wire form.
+func (p *Packet) EncodeJSON() ([]byte, error) { return json.Marshal(p) }
+
+// DecodePacket parses a wire-form packet: the binary form by default, with
+// a sniff for the legacy JSON form ('{' first byte) so persisted packets
+// and hand-built test fixtures keep working.
 func DecodePacket(data []byte) (*Packet, error) {
-	var p Packet
-	if err := json.Unmarshal(data, &p); err != nil {
-		return nil, fmt.Errorf("accounting: bad packet: %w", err)
+	if len(data) > 0 && data[0] == '{' {
+		var p Packet
+		if err := json.Unmarshal(data, &p); err != nil {
+			return nil, fmt.Errorf("accounting: bad packet: %w", err)
+		}
+		return &p, nil
 	}
-	return &p, nil
+	return decodeWire(data)
 }
 
 // Ledger is a site's local spool of unreported records. Sites flush their

@@ -1,0 +1,315 @@
+// Binary wire codec for accounting packets. The periodic ledger flush
+// encodes and immediately decodes every packet (the simulated AMIE wire),
+// and kernel self-profiling shows the JSON round trip dominating the
+// acct-flush event — reflection-driven marshal plus unmarshal is the
+// single most expensive handler at quick scale. The hand-rolled codec
+// below writes the same schema as length-prefixed fields in fixed order:
+// no reflection, no intermediate maps, one buffer.
+//
+// The wire format is internal to the simulation (producer and consumer
+// are the same build), so evolution is handled with a plain version byte.
+// DecodePacket still accepts the legacy JSON form — packets persisted by
+// older runs or crafted by tests begin with '{' and are sniffed to the
+// JSON path — and the JSON-lines archive interchange in io.go is
+// untouched: run-dir artifacts remain human-readable.
+package accounting
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// wireMagic brands binary packets; wireVersion is the schema revision.
+const (
+	wireMagic   = "TGP"
+	wireVersion = byte(1)
+)
+
+func appendU64(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+func appendI64(b []byte, v int64) []byte { return binary.AppendVarint(b, v) }
+
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+func appendStr(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// wireReader is a cursor over an encoded packet. Errors are sticky: after
+// the first malformed field every read returns zero values, and the caller
+// checks err once at the end.
+type wireReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *wireReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("accounting: bad packet: truncated %s at offset %d", what, r.off)
+	}
+}
+
+func (r *wireReader) u64(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.fail(what)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *wireReader) i64(what string) int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.off:])
+	if n <= 0 {
+		r.fail(what)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *wireReader) f64(what string) float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.data) {
+		r.fail(what)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.data[r.off:]))
+	r.off += 8
+	return v
+}
+
+func (r *wireReader) str(what string) string {
+	n := int(r.u64(what))
+	if r.err != nil {
+		return ""
+	}
+	if n < 0 || r.off+n > len(r.data) {
+		r.fail(what)
+		return ""
+	}
+	s := string(r.data[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// count reads a slice length and bounds it by the remaining bytes (each
+// element needs at least one byte), so a corrupt length cannot drive a
+// huge allocation.
+func (r *wireReader) count(what string) int {
+	n := int(r.u64(what))
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || n > len(r.data)-r.off {
+		r.fail(what)
+		return 0
+	}
+	return n
+}
+
+func appendJobRecord(b []byte, j *JobRecord) []byte {
+	b = appendI64(b, j.JobID)
+	b = appendStr(b, j.Name)
+	b = appendStr(b, j.User)
+	b = appendStr(b, j.Project)
+	b = appendStr(b, j.Site)
+	b = appendStr(b, j.Machine)
+	b = appendStr(b, j.Queue)
+	b = appendI64(b, int64(j.Cores))
+	b = appendF64(b, j.SubmitTime)
+	b = appendF64(b, j.StartTime)
+	b = appendF64(b, j.EndTime)
+	b = appendF64(b, j.WallSeconds)
+	b = appendF64(b, j.CoreSeconds)
+	b = appendF64(b, j.NUs)
+	b = appendStr(b, j.QOS)
+	b = appendStr(b, j.ExitStatus)
+	b = appendI64(b, int64(j.Preemptions))
+	b = appendStr(b, j.SubmitVia)
+	b = appendStr(b, j.GatewayID)
+	b = appendStr(b, j.WorkflowID)
+	b = appendStr(b, j.WorkflowEngine)
+	b = appendStr(b, j.EnsembleID)
+	b = appendStr(b, j.BrokerJobID)
+	b = appendStr(b, j.CoAllocID)
+	b = appendStr(b, j.ScienceField)
+	b = appendStr(b, j.TruthModality)
+	b = appendStr(b, j.TruthCampaign)
+	return b
+}
+
+func (r *wireReader) jobRecord(j *JobRecord) {
+	j.JobID = r.i64("job_id")
+	j.Name = r.str("name")
+	j.User = r.str("user")
+	j.Project = r.str("project")
+	j.Site = r.str("site")
+	j.Machine = r.str("machine")
+	j.Queue = r.str("queue")
+	j.Cores = int(r.i64("cores"))
+	j.SubmitTime = r.f64("submit")
+	j.StartTime = r.f64("start")
+	j.EndTime = r.f64("end")
+	j.WallSeconds = r.f64("wall_s")
+	j.CoreSeconds = r.f64("core_s")
+	j.NUs = r.f64("nus")
+	j.QOS = r.str("qos")
+	j.ExitStatus = r.str("exit")
+	j.Preemptions = int(r.i64("preempts"))
+	j.SubmitVia = r.str("submit_via")
+	j.GatewayID = r.str("gateway_id")
+	j.WorkflowID = r.str("workflow_id")
+	j.WorkflowEngine = r.str("workflow_engine")
+	j.EnsembleID = r.str("ensemble_id")
+	j.BrokerJobID = r.str("broker_job_id")
+	j.CoAllocID = r.str("coalloc_id")
+	j.ScienceField = r.str("science_field")
+	j.TruthModality = r.str("truth")
+	j.TruthCampaign = r.str("truth_campaign")
+}
+
+func appendTransferRecord(b []byte, t *TransferRecord) []byte {
+	b = appendI64(b, t.TransferID)
+	b = appendStr(b, t.Src)
+	b = appendStr(b, t.Dst)
+	b = appendI64(b, t.Bytes)
+	b = appendF64(b, t.Start)
+	b = appendF64(b, t.End)
+	b = appendStr(b, t.User)
+	b = appendStr(b, t.Project)
+	b = appendI64(b, t.JobID)
+	return b
+}
+
+func (r *wireReader) transferRecord(t *TransferRecord) {
+	t.TransferID = r.i64("transfer_id")
+	t.Src = r.str("src")
+	t.Dst = r.str("dst")
+	t.Bytes = r.i64("bytes")
+	t.Start = r.f64("start")
+	t.End = r.f64("end")
+	t.User = r.str("user")
+	t.Project = r.str("project")
+	t.JobID = r.i64("job_id")
+}
+
+func appendGatewayAttrRecord(b []byte, g *GatewayAttrRecord) []byte {
+	b = appendStr(b, g.GatewayID)
+	b = appendStr(b, g.GatewayUser)
+	b = appendI64(b, g.JobID)
+	b = appendF64(b, g.At)
+	return b
+}
+
+func (r *wireReader) gatewayAttrRecord(g *GatewayAttrRecord) {
+	g.GatewayID = r.str("gateway_id")
+	g.GatewayUser = r.str("gateway_user")
+	g.JobID = r.i64("job_id")
+	g.At = r.f64("at")
+}
+
+func appendStorageRecord(b []byte, s *StorageRecord) []byte {
+	b = appendStr(b, s.Site)
+	b = appendStr(b, s.Project)
+	b = appendI64(b, s.Bytes)
+	b = appendF64(b, s.At)
+	return b
+}
+
+func (r *wireReader) storageRecord(s *StorageRecord) {
+	s.Site = r.str("site")
+	s.Project = r.str("project")
+	s.Bytes = r.i64("bytes")
+	s.At = r.f64("at")
+}
+
+// encodeWire serializes p in the binary wire form.
+func (p *Packet) encodeWire() []byte {
+	// Size hint: jobs dominate real packets; ~200 bytes each is close
+	// enough to avoid most growth copies.
+	b := make([]byte, 0, 64+200*len(p.Jobs)+64*len(p.Transfers)+
+		48*len(p.GatewayAttrs)+48*len(p.Storage))
+	b = append(b, wireMagic...)
+	b = append(b, wireVersion)
+	b = appendStr(b, p.Site)
+	b = appendU64(b, p.Seq)
+	b = appendF64(b, p.SentAt)
+	b = appendU64(b, uint64(len(p.Jobs)))
+	for i := range p.Jobs {
+		b = appendJobRecord(b, &p.Jobs[i])
+	}
+	b = appendU64(b, uint64(len(p.Transfers)))
+	for i := range p.Transfers {
+		b = appendTransferRecord(b, &p.Transfers[i])
+	}
+	b = appendU64(b, uint64(len(p.GatewayAttrs)))
+	for i := range p.GatewayAttrs {
+		b = appendGatewayAttrRecord(b, &p.GatewayAttrs[i])
+	}
+	b = appendU64(b, uint64(len(p.Storage)))
+	for i := range p.Storage {
+		b = appendStorageRecord(b, &p.Storage[i])
+	}
+	return b
+}
+
+// decodeWire parses the binary wire form produced by encodeWire.
+func decodeWire(data []byte) (*Packet, error) {
+	if len(data) < len(wireMagic)+1 || string(data[:len(wireMagic)]) != wireMagic {
+		return nil, fmt.Errorf("accounting: bad packet: missing wire magic")
+	}
+	if v := data[len(wireMagic)]; v != wireVersion {
+		return nil, fmt.Errorf("accounting: bad packet: unsupported wire version %d", v)
+	}
+	r := &wireReader{data: data, off: len(wireMagic) + 1}
+	p := &Packet{}
+	p.Site = r.str("site")
+	p.Seq = r.u64("seq")
+	p.SentAt = r.f64("sent_at")
+	if n := r.count("jobs"); n > 0 {
+		p.Jobs = make([]JobRecord, n)
+		for i := range p.Jobs {
+			r.jobRecord(&p.Jobs[i])
+		}
+	}
+	if n := r.count("transfers"); n > 0 {
+		p.Transfers = make([]TransferRecord, n)
+		for i := range p.Transfers {
+			r.transferRecord(&p.Transfers[i])
+		}
+	}
+	if n := r.count("gateway_attrs"); n > 0 {
+		p.GatewayAttrs = make([]GatewayAttrRecord, n)
+		for i := range p.GatewayAttrs {
+			r.gatewayAttrRecord(&p.GatewayAttrs[i])
+		}
+	}
+	if n := r.count("storage"); n > 0 {
+		p.Storage = make([]StorageRecord, n)
+		for i := range p.Storage {
+			r.storageRecord(&p.Storage[i])
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("accounting: bad packet: %d trailing bytes", len(data)-r.off)
+	}
+	return p, nil
+}

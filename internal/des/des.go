@@ -1,21 +1,23 @@
 // Package des implements a deterministic discrete-event simulation kernel.
 //
-// The kernel maintains a virtual clock and a future-event list (a binary
-// heap). Events are callbacks scheduled at absolute or relative virtual
-// times. Ties in event time are broken by scheduling order (a monotonically
-// increasing sequence number), which makes every simulation run fully
-// deterministic for a given seed and scenario.
+// The kernel maintains a virtual clock and a future-event list (a 4-ary
+// indexed min-heap over pooled event nodes; see heap.go). Events are
+// callbacks scheduled at absolute or relative virtual times. Ties in event
+// time are broken by scheduling order (a monotonically increasing sequence
+// number), which makes every simulation run fully deterministic for a given
+// seed and scenario.
 //
 // The kernel is intentionally single-threaded: discrete-event simulations
 // are dominated by fine-grained causally ordered events, and a sequential
 // event loop with a good heap outperforms speculative parallel execution at
 // the scales this repository targets (tens of millions of events). The
 // package is nevertheless safe to use from multiple kernels concurrently;
-// each Kernel is independent.
+// each Kernel is independent — that property is what internal/fleet builds
+// on to run many seeded replications in parallel.
 package des
 
 import (
-	"container/heap"
+	"errors"
 	"fmt"
 	"math"
 )
@@ -71,53 +73,73 @@ func (t Time) String() string {
 // the kernel in every closure.
 type Handler func(k *Kernel)
 
-// Timer is a handle to a scheduled event. It can be used to cancel the
-// event before it fires. The zero value is not a valid timer.
-type Timer struct {
+// ErrEventBacklog is the sentinel matched by errors.Is when a run fails
+// because the future-event list exceeded the configured pending limit —
+// the DES equivalent of an unbounded queue: some component is scheduling
+// events faster than virtual time can retire them. Fleet workers use it to
+// fail a replication cleanly instead of draining a hot loop forever.
+var ErrEventBacklog = errors.New("event backlog: future-event list exceeded pending limit")
+
+// BacklogError is the concrete error returned by Run/RunUntil when the
+// pending limit is breached. It unwraps to ErrEventBacklog and records
+// where the simulation stood when the limit was hit.
+type BacklogError struct {
+	At      Time // virtual time of the event being executed at the breach
+	Pending int  // future-event-list size that tripped the limit
+	Limit   int  // the configured limit
+}
+
+func (e *BacklogError) Error() string {
+	return fmt.Sprintf("des: event backlog at t=%v: %d events pending exceeds limit %d", e.At, e.Pending, e.Limit)
+}
+
+// Unwrap makes errors.Is(err, ErrEventBacklog) true.
+func (e *BacklogError) Unwrap() error { return ErrEventBacklog }
+
+// eventNode is one pooled future-event-list entry. Nodes are recycled onto
+// the kernel's free list when they fire or are canceled; gen is bumped on
+// every recycle so stale Timer handles become inert instead of aliasing
+// whatever event reuses the node.
+type eventNode struct {
 	at    Time
 	seq   uint64
-	index int // heap index, -1 once fired or canceled
+	index int32  // heap index, -1 once fired or canceled
+	gen   uint32 // incremented each time the node is recycled
 	fn    Handler
 	name  string
 }
 
-// At reports the virtual time at which the timer is (or was) scheduled to fire.
-func (t *Timer) At() Time { return t.at }
+// Timer is a cancelable handle to a scheduled event. It is a small value
+// (copy it freely); the zero value is a valid, never-pending timer. A
+// handle held past its event's firing or cancellation stays safe: the
+// underlying pooled node's generation moves on, and Pending/Cancel on the
+// stale handle simply report false.
+type Timer struct {
+	n   *eventNode
+	gen uint32
+}
+
+// At reports the virtual time at which the timer is scheduled to fire, or
+// zero if the event has already fired or been canceled.
+func (t Timer) At() Time {
+	if t.n == nil || t.gen != t.n.gen {
+		return 0
+	}
+	return t.n.at
+}
 
 // Pending reports whether the event is still scheduled.
-func (t *Timer) Pending() bool { return t != nil && t.index >= 0 }
+func (t Timer) Pending() bool {
+	return t.n != nil && t.gen == t.n.gen && t.n.index >= 0
+}
 
-// Name returns the optional debug name attached at scheduling time.
-func (t *Timer) Name() string { return t.name }
-
-// eventHeap orders timers by (time, seq).
-type eventHeap []*Timer
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// Name returns the debug name attached at scheduling time, or "" once the
+// event has fired or been canceled.
+func (t Timer) Name() string {
+	if t.n == nil || t.gen != t.n.gen {
+		return ""
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	t := x.(*Timer)
-	t.index = len(*h)
-	*h = append(*h, t)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.index = -1
-	*h = old[:n-1]
-	return t
+	return t.n.name
 }
 
 // Tracer receives a notification for every event executed by the kernel.
@@ -146,14 +168,17 @@ type StepObserver interface {
 // Kernel is a discrete-event simulation engine. The zero value is ready to
 // use; New is provided for symmetry and future options.
 type Kernel struct {
-	now        Time
-	seq        uint64
-	events     eventHeap
-	executed   uint64
-	stopped    bool
-	tracer     Tracer
-	after      StepObserver
-	maxPending int
+	now          Time
+	seq          uint64
+	heap         []*eventNode
+	free         []*eventNode // recycled nodes awaiting reuse
+	executed     uint64
+	stopped      bool
+	tracer       Tracer
+	after        StepObserver
+	maxPending   int
+	pendingLimit int   // 0 = unlimited
+	err          error // sticky; set on backlog breach
 }
 
 // New returns a ready-to-run kernel with the clock at zero.
@@ -170,6 +195,18 @@ func (k *Kernel) SetTracer(tr Tracer) {
 	}
 }
 
+// SetPendingLimit bounds the future-event list. When a Schedule/At call
+// pushes the pending count past limit, the kernel records a BacklogError,
+// stops after the in-flight handler returns, and Run/RunUntil report the
+// error. A limit of zero (the default) disables the check.
+func (k *Kernel) SetPendingLimit(limit int) { k.pendingLimit = limit }
+
+// PendingLimit returns the configured future-event-list bound (0 = none).
+func (k *Kernel) PendingLimit() int { return k.pendingLimit }
+
+// Err returns the sticky kernel error (a *BacklogError), or nil.
+func (k *Kernel) Err() error { return k.err }
+
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
 
@@ -177,21 +214,47 @@ func (k *Kernel) Now() Time { return k.now }
 func (k *Kernel) Executed() uint64 { return k.executed }
 
 // Pending returns the number of events currently scheduled.
-func (k *Kernel) Pending() int { return len(k.events) }
+func (k *Kernel) Pending() int { return len(k.heap) }
 
 // MaxPending returns the future-event-list high-water mark: the largest
 // number of simultaneously pending events observed so far.
 func (k *Kernel) MaxPending() int { return k.maxPending }
 
+// alloc returns a recycled event node, or a fresh one when the pool is
+// empty. Nodes are allocated in small batches so a cold kernel does not pay
+// one garbage-collected allocation per scheduled event.
+func (k *Kernel) alloc() *eventNode {
+	if n := len(k.free); n > 0 {
+		nd := k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		return nd
+	}
+	batch := make([]eventNode, 16)
+	for i := 1; i < len(batch); i++ {
+		k.free = append(k.free, &batch[i])
+	}
+	return &batch[0]
+}
+
+// recycle invalidates outstanding Timer handles to n and returns it to the
+// pool. The handler reference is dropped so the pool does not pin closures.
+func (k *Kernel) recycle(n *eventNode) {
+	n.fn = nil
+	n.name = ""
+	n.gen++
+	k.free = append(k.free, n)
+}
+
 // Schedule arranges for fn to run after delay seconds of virtual time and
 // returns a cancelable handle. A negative delay is treated as zero.
 // Scheduling panics if fn is nil.
-func (k *Kernel) Schedule(delay Time, fn Handler) *Timer {
+func (k *Kernel) Schedule(delay Time, fn Handler) Timer {
 	return k.ScheduleNamed(delay, "", fn)
 }
 
 // ScheduleNamed is Schedule with a debug name recorded in traces.
-func (k *Kernel) ScheduleNamed(delay Time, name string, fn Handler) *Timer {
+func (k *Kernel) ScheduleNamed(delay Time, name string, fn Handler) Timer {
 	if delay < 0 {
 		delay = 0
 	}
@@ -201,81 +264,100 @@ func (k *Kernel) ScheduleNamed(delay Time, name string, fn Handler) *Timer {
 // At arranges for fn to run at absolute virtual time t. Times in the past
 // are clamped to the current time (the event fires after all events already
 // scheduled at the current time).
-func (k *Kernel) At(t Time, fn Handler) *Timer {
+func (k *Kernel) At(t Time, fn Handler) Timer {
 	return k.AtNamed(t, "", fn)
 }
 
 // AtNamed is At with a debug name recorded in traces.
-func (k *Kernel) AtNamed(t Time, name string, fn Handler) *Timer {
+func (k *Kernel) AtNamed(t Time, name string, fn Handler) Timer {
 	if fn == nil {
 		panic("des: Schedule called with nil handler")
 	}
 	if t < k.now {
 		t = k.now
 	}
-	// Timers are never pooled or reused: a caller may hold a handle to a
-	// fired timer and call Cancel on it much later; reuse would make that
-	// cancel hit an unrelated event.
-	tm := &Timer{at: t, seq: k.seq, fn: fn, name: name}
+	n := k.alloc()
+	n.at = t
+	n.seq = k.seq
+	n.fn = fn
+	n.name = name
 	k.seq++
-	heap.Push(&k.events, tm)
-	if len(k.events) > k.maxPending {
-		k.maxPending = len(k.events)
+	k.heapPush(n)
+	if len(k.heap) > k.maxPending {
+		k.maxPending = len(k.heap)
+		if k.pendingLimit > 0 && len(k.heap) > k.pendingLimit && k.err == nil {
+			k.err = &BacklogError{At: k.now, Pending: len(k.heap), Limit: k.pendingLimit}
+			k.stopped = true
+		}
 	}
-	return tm
+	return Timer{n: n, gen: n.gen}
 }
 
 // Cancel removes a pending event. Canceling an already-fired or
 // already-canceled timer is a harmless no-op. Cancel reports whether the
 // event was actually removed.
-func (k *Kernel) Cancel(t *Timer) bool {
-	if t == nil || t.index < 0 {
+func (k *Kernel) Cancel(t Timer) bool {
+	if !t.Pending() {
 		return false
 	}
-	heap.Remove(&k.events, t.index)
-	t.fn = nil
+	k.heapRemove(int(t.n.index))
+	k.recycle(t.n)
 	return true
 }
 
 // Step executes the single next event, advancing the clock to its time.
 // It reports false when no events remain.
 func (k *Kernel) Step() bool {
-	if len(k.events) == 0 {
+	if len(k.heap) == 0 {
 		return false
 	}
-	t := heap.Pop(&k.events).(*Timer)
-	k.now = t.at
-	fn := t.fn
-	t.fn = nil
+	n := k.heapPopMin()
+	k.now = n.at
+	fn, name := n.fn, n.name
+	// Recycle before running the handler: the generation bump makes any
+	// handle to this firing event inert, so the node can be reused by
+	// whatever the handler schedules next.
+	k.recycle(n)
 	k.executed++
 	if k.tracer != nil {
-		k.tracer.Event(k.now, t.name)
+		k.tracer.Event(k.now, name)
 	}
 	fn(k)
 	if k.after != nil {
-		k.after.AfterEvent(k.now, t.name, len(k.events))
+		k.after.AfterEvent(k.now, name, len(k.heap))
 	}
 	return true
 }
 
-// Run executes events until the event list is empty or Stop is called.
-func (k *Kernel) Run() {
+// Run executes events until the event list is empty, Stop is called, or the
+// pending limit is breached. It returns the kernel error (nil, or a
+// *BacklogError matching ErrEventBacklog).
+func (k *Kernel) Run() error {
+	if k.err != nil {
+		return k.err
+	}
 	k.stopped = false
 	for !k.stopped && k.Step() {
 	}
+	return k.err
 }
 
 // RunUntil executes events with timestamps at or before limit, then sets
 // the clock to limit (if the simulation did not already pass it). Events
-// scheduled after limit remain pending.
-func (k *Kernel) RunUntil(limit Time) {
+// scheduled after limit remain pending. Like Run it returns the kernel
+// error, if any.
+func (k *Kernel) RunUntil(limit Time) error {
+	if k.err != nil {
+		return k.err
+	}
 	k.stopped = false
-	for !k.stopped && len(k.events) > 0 && k.events[0].at <= limit {
+	for !k.stopped && len(k.heap) > 0 && k.heap[0].at <= limit {
 		k.Step()
 	}
 	if k.now < limit {
 		k.now = limit
 	}
+	return k.err
 }
 
 // Stop halts Run or RunUntil after the currently executing event returns.
@@ -285,10 +367,10 @@ func (k *Kernel) Stop() { k.stopped = true }
 // NextEventAt returns the timestamp of the earliest pending event and true,
 // or zero and false if no events are pending.
 func (k *Kernel) NextEventAt() (Time, bool) {
-	if len(k.events) == 0 {
+	if len(k.heap) == 0 {
 		return 0, false
 	}
-	return k.events[0].at, true
+	return k.heap[0].at, true
 }
 
 // Every schedules fn to run repeatedly with the given period, starting
@@ -314,7 +396,7 @@ type Ticker struct {
 	period  Time
 	name    string
 	fn      Handler
-	timer   *Timer
+	timer   Timer
 	stopped bool
 }
 

@@ -1,6 +1,7 @@
 package des
 
 import (
+	"errors"
 	"math/rand"
 	"sort"
 	"testing"
@@ -208,7 +209,7 @@ func TestHeapPropertyRandom(t *testing.T) {
 			seq int
 		}
 		var fired []rec
-		var timers []*Timer
+		var timers []Timer
 		n := 200 + rng.Intn(200)
 		for i := 0; i < n; i++ {
 			at := Time(rng.Intn(50))
@@ -389,4 +390,128 @@ func BenchmarkKernelScheduleRun(b *testing.B) {
 		}
 	}
 	k.Run()
+}
+
+// TestStaleTimerHandleInert checks the pool-safety contract: once an event
+// fires, its node may be recycled by a later Schedule, and a handle to the
+// fired event must neither report pending nor cancel the unrelated event
+// that reused the node.
+func TestStaleTimerHandleInert(t *testing.T) {
+	k := New()
+	var secondFired bool
+	first := k.AtNamed(1, "first", func(*Kernel) {})
+	k.Run()
+	if first.Pending() {
+		t.Fatal("fired timer still reports pending")
+	}
+	second := k.AtNamed(2, "second", func(*Kernel) { secondFired = true })
+	if k.Cancel(first) {
+		t.Fatal("stale handle canceled something")
+	}
+	if first.Name() != "" || first.At() != 0 {
+		t.Errorf("stale handle leaks recycled state: name=%q at=%v", first.Name(), first.At())
+	}
+	if !second.Pending() {
+		t.Fatal("live timer lost by stale-handle Cancel")
+	}
+	k.Run()
+	if !secondFired {
+		t.Fatal("second event did not fire")
+	}
+}
+
+// TestZeroTimer checks the documented zero value: valid, never pending.
+func TestZeroTimer(t *testing.T) {
+	var tm Timer
+	if tm.Pending() {
+		t.Error("zero Timer reports pending")
+	}
+	if k := New(); k.Cancel(tm) {
+		t.Error("zero Timer canceled something")
+	}
+}
+
+// TestPendingLimitBacklog checks that a runaway event cascade trips the
+// configured pending limit and surfaces as a typed ErrEventBacklog from Run
+// instead of looping forever.
+func TestPendingLimitBacklog(t *testing.T) {
+	k := New()
+	k.SetPendingLimit(64)
+	var amplify Handler
+	amplify = func(k *Kernel) {
+		for i := 0; i < 4; i++ {
+			k.ScheduleNamed(1, "amplify", amplify)
+		}
+	}
+	k.ScheduleNamed(1, "amplify", amplify)
+	err := k.Run()
+	if err == nil {
+		t.Fatal("Run returned nil despite backlog")
+	}
+	if !errors.Is(err, ErrEventBacklog) {
+		t.Fatalf("err = %v, want ErrEventBacklog", err)
+	}
+	var be *BacklogError
+	if !errors.As(err, &be) {
+		t.Fatalf("err %T is not *BacklogError", err)
+	}
+	if be.Limit != 64 || be.Pending <= 64 {
+		t.Errorf("BacklogError = %+v, want Limit=64 and Pending>64", be)
+	}
+	if k.Err() == nil {
+		t.Error("kernel Err() not sticky")
+	}
+	if again := k.Run(); !errors.Is(again, ErrEventBacklog) {
+		t.Errorf("second Run = %v, want sticky backlog error", again)
+	}
+	if err := k.RunUntil(100); !errors.Is(err, ErrEventBacklog) {
+		t.Errorf("RunUntil after backlog = %v, want sticky backlog error", err)
+	}
+}
+
+// TestPendingLimitNotTripped checks that a workload staying under the
+// limit runs to completion with a nil error.
+func TestPendingLimitNotTripped(t *testing.T) {
+	k := New()
+	k.SetPendingLimit(1000)
+	n := 0
+	for i := 0; i < 500; i++ {
+		k.Schedule(Time(i), func(*Kernel) { n++ })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if n != 500 {
+		t.Fatalf("fired %d of 500", n)
+	}
+}
+
+// TestIntern checks canonicalization: equal content maps to one instance.
+func TestIntern(t *testing.T) {
+	a := Intern("arrival-" + "gw1")
+	b := Intern("arrival-gw" + "1")
+	if a != b {
+		t.Fatal("intern returned different content")
+	}
+	if &a == &b {
+		t.Log("addresses compare via header; content identity checked above")
+	}
+}
+
+// BenchmarkKernelChurn measures the steady-state schedule/fire cycle the
+// node pool targets: each event schedules its successor, so a pooled kernel
+// should run allocation-free after warmup.
+func BenchmarkKernelChurn(b *testing.B) {
+	k := New()
+	var next Handler
+	next = func(k *Kernel) { k.ScheduleNamed(1, "churn", next) }
+	k.ScheduleNamed(1, "churn", next)
+	for i := 0; i < 64; i++ {
+		k.Step() // warm the pool
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Step()
+	}
 }

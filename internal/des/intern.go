@@ -1,0 +1,34 @@
+package des
+
+import "sync"
+
+// Event-name interning. Hot schedule sites name their events so tracers,
+// profilers, and telemetry can aggregate by kind; when a name is built
+// dynamically (per generator, per gateway), naive construction allocates a
+// fresh string per component — or worse, per event — and every downstream
+// map keyed by name re-hashes distinct backing arrays. Intern canonicalizes
+// such names once at construction time so every event of a kind shares one
+// string value, keeping the per-event cost at pointer-equality speed.
+//
+// The table is global and synchronized (fleet replications build scenarios
+// concurrently), deliberately never evicted: the universe of event names is
+// small and fixed by scenario topology.
+
+var (
+	internMu  sync.Mutex
+	internTab = make(map[string]string)
+)
+
+// Intern returns the canonical instance of name. Call it when constructing
+// a dynamic event name that will be reused across many Schedule calls; do
+// not call it per event — the point is to pay the map lookup once.
+func Intern(name string) string {
+	internMu.Lock()
+	s, ok := internTab[name]
+	if !ok {
+		s = name
+		internTab[name] = s
+	}
+	internMu.Unlock()
+	return s
+}

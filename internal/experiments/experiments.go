@@ -34,15 +34,25 @@ const (
 )
 
 // StandardConfig returns the shared measurement scenario at a scale.
+// Built via the options API so callers (and fleet.Spec.Build closures) can
+// re-derive it per seed; generators are constructed fresh on every call.
 func StandardConfig(seed uint64, sc Scale) scenario.Config {
-	cfg := scenario.DefaultConfig(seed)
-	if sc == Quick {
-		cfg.Horizon = 14 * des.Day
-		cfg.DrainTime = 4 * des.Day
-		cfg.Users = users.Config{Projects: 60, UsersPerProjMu: 0.8, UsersPerProjSd: 0.7, ActivityAlpha: 1.5}
-		cfg.Generators = quickGenerators(1.0, 0.5, 0.6, 0.9)
+	return scenario.New(seed, StandardOptions(sc)...)
+}
+
+// StandardOptions returns the option list behind StandardConfig, for
+// callers that want to compose further options on top of the standard
+// scenario (an observer, a different horizon).
+func StandardOptions(sc Scale) []scenario.Option {
+	if sc != Quick {
+		return nil
 	}
-	return cfg
+	return []scenario.Option{
+		scenario.WithHorizon(14 * des.Day),
+		scenario.WithDrain(4 * des.Day),
+		scenario.WithUsers(users.Config{Projects: 60, UsersPerProjMu: 0.8, UsersPerProjSd: 0.7, ActivityAlpha: 1.5}),
+		scenario.WithGenerators(quickGenerators(1.0, 0.5, 0.6, 0.9)...),
+	}
 }
 
 // quickGenerators builds the reduced-rate mix with adjustable attribute
@@ -155,11 +165,10 @@ func T4Coverage(seed uint64, sc Scale) (*report.Table, error) {
 	t := report.NewTable("T4: Classifier F1 vs instrumentation attribute coverage",
 		"coverage", "accuracy", "gateway F1", "ensemble F1", "workflow F1", "metasched F1")
 	for _, cov := range coverages {
-		cfg := StandardConfig(seed, sc)
-		cfg.BrokerTagCoverage = cov
-		for i := range cfg.Gateways {
-			cfg.Gateways[i].AttrCoverage = cov
-		}
+		cfg := scenario.New(seed, append(StandardOptions(sc),
+			scenario.WithBrokerTagCoverage(cov),
+			scenario.WithGatewayCoverage(cov),
+		)...)
 		if sc == Quick {
 			cfg.Generators = quickGenerators(1.0, cov, cov, cov)
 		} else {
@@ -428,9 +437,9 @@ func MaintenanceTable(seed uint64, sc Scale) (*report.Table, error) {
 		{"every 3d 8h", 3 * des.Day, 8 * des.Hour},
 	}
 	for _, v := range variants {
-		cfg := StandardConfig(seed, sc)
-		cfg.MaintenanceEvery = v.every
-		cfg.MaintenanceLength = v.hours
+		cfg := scenario.New(seed, append(StandardOptions(sc),
+			scenario.WithMaintenance(v.every, v.hours),
+		)...)
 		res, err := scenario.Run(cfg)
 		if err != nil {
 			return nil, err

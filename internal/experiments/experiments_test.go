@@ -365,3 +365,24 @@ func TestMaintenanceTable(t *testing.T) {
 		t.Errorf("NUs with heavy maintenance (%v) should trail no-maintenance (%v)", heavy, none)
 	}
 }
+
+func TestFLFleetScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet scaling runs multiple full replications")
+	}
+	tab, rows, err := FLFleetScaling(404, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 || tab.Rows() != len(rows) {
+		t.Fatalf("rows = %d, table rows = %d", len(rows), tab.Rows())
+	}
+	if rows[0].Workers != 1 || rows[0].Speedup != 1 {
+		t.Errorf("first row must be the sequential baseline: %+v", rows[0])
+	}
+	for _, r := range rows {
+		if r.Wall <= 0 || r.EventsSec <= 0 {
+			t.Errorf("non-positive measurement: %+v", r)
+		}
+	}
+}

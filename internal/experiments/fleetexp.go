@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+
+	"github.com/tgsim/tgmod/internal/fleet"
+	"github.com/tgsim/tgmod/internal/report"
+	"github.com/tgsim/tgmod/internal/scenario"
+)
+
+// FleetScalingRow is one measured fleet configuration.
+type FleetScalingRow struct {
+	Workers   int
+	Reps      int
+	Wall      float64
+	EventsSec float64
+	Speedup   float64
+}
+
+// fleetSpec builds the FL experiment's fleet: the standard measurement
+// scenario rebuilt fresh per seed (stateful generators must never be
+// shared across concurrent replications).
+func fleetSpec(seed uint64, sc Scale, reps, workers int) fleet.Spec {
+	return fleet.Spec{
+		Reps:     reps,
+		Parallel: workers,
+		BaseSeed: seed,
+		Build: func(s uint64) scenario.Config {
+			return scenario.New(s, StandardOptions(sc)...)
+		},
+	}
+}
+
+// FLFleetScaling measures replication-fleet wall-clock scaling: the same
+// N-replication fleet run at widths 1, 2, 4, ... up to GOMAXPROCS, with
+// speedup relative to the sequential run. On an unloaded P-core host the
+// expected shape is near-linear up to P (replications share no state and
+// the seed-order merge is negligible), flattening past physical cores.
+func FLFleetScaling(seed uint64, sc Scale) (*report.Table, []FleetScalingRow, error) {
+	reps := 8
+	if sc == Full {
+		reps = 16
+	}
+	maxW := runtime.GOMAXPROCS(0)
+	widths := []int{1}
+	for w := 2; w <= maxW; w *= 2 {
+		widths = append(widths, w)
+	}
+	if last := widths[len(widths)-1]; last != maxW {
+		widths = append(widths, maxW)
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("FL: replication-fleet scaling, %d reps of the standard %s scenario", reps, scaleName(sc)),
+		"workers", "wall (s)", "events/sec", "speedup vs 1 worker")
+	var rows []FleetScalingRow
+	var base float64
+	for _, w := range widths {
+		res, err := fleet.Run(fleetSpec(seed, sc, reps, w))
+		if err != nil {
+			return nil, nil, fmt.Errorf("fleet scaling (workers=%d): %w", w, err)
+		}
+		if base == 0 {
+			base = res.Wall
+		}
+		row := FleetScalingRow{
+			Workers:   res.Workers,
+			Reps:      reps,
+			Wall:      res.Wall,
+			EventsSec: res.EventsPerSec(),
+			Speedup:   base / res.Wall,
+		}
+		rows = append(rows, row)
+		t.AddRowf(row.Workers, row.Wall, row.EventsSec, row.Speedup)
+	}
+	return t, rows, nil
+}
+
+func scaleName(sc Scale) string {
+	if sc == Full {
+		return "full"
+	}
+	return "quick"
+}

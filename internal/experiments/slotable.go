@@ -13,12 +13,13 @@ import (
 // interactive meet their objectives easily, while capability-class waits
 // burn error budget under load.
 func SLOTable(seed uint64, sc Scale) (*report.Table, error) {
-	cfg := StandardConfig(seed, sc)
 	ev, err := slo.New()
 	if err != nil {
 		return nil, err
 	}
-	cfg.Observe = scenario.Observe{SLO: ev}
+	cfg := scenario.New(seed, append(StandardOptions(sc),
+		scenario.WithObserver(scenario.EvaluateSLO(ev)),
+	)...)
 	if _, err := scenario.Run(cfg); err != nil {
 		return nil, err
 	}

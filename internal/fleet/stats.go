@@ -1,0 +1,72 @@
+package fleet
+
+import (
+	"math"
+
+	"github.com/tgsim/tgmod/internal/metrics"
+)
+
+// Stat is a cross-replication summary of one scalar output: the sample
+// mean over N independent seeds, the sample standard deviation, and the
+// half-width of the two-sided 95% confidence interval on the mean
+// (Student's t, n-1 degrees of freedom). CI95 is zero when N < 2.
+type Stat struct {
+	N      int
+	Mean   float64
+	Stddev float64
+	CI95   float64
+	Min    float64
+	Max    float64
+}
+
+// tCrit95 is the two-sided 95% Student-t critical value for small degrees
+// of freedom; beyond the table the normal approximation is within 2%.
+var tCrit95 = [...]float64{
+	1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+	6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+	11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+	16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+	21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+	26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+}
+
+func tValue(df int) float64 {
+	if df < 1 {
+		return 0
+	}
+	if df < len(tCrit95) {
+		return tCrit95[df]
+	}
+	return 1.96
+}
+
+// Summarize reduces one sample per successful replication to a Stat.
+func Summarize(samples []float64) Stat {
+	var s metrics.Summary
+	for _, v := range samples {
+		s.Add(v)
+	}
+	st := Stat{N: s.N(), Mean: s.Mean(), Stddev: s.Stddev(), Min: s.Min(), Max: s.Max()}
+	if st.N >= 2 {
+		st.CI95 = tValue(st.N-1) * st.Stddev / math.Sqrt(float64(st.N))
+	}
+	return st
+}
+
+// Sample extracts one scalar per successful replication.
+func (r *Result) Sample(f func(*Rep) float64) []float64 {
+	out := make([]float64, 0, len(r.Reps))
+	for i := range r.Reps {
+		if r.Reps[i].Err != nil {
+			continue
+		}
+		out = append(out, f(&r.Reps[i]))
+	}
+	return out
+}
+
+// Stat reduces one scalar per successful replication to its
+// cross-replication summary.
+func (r *Result) Stat(f func(*Rep) float64) Stat {
+	return Summarize(r.Sample(f))
+}

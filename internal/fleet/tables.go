@@ -1,0 +1,111 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tgsim/tgmod/internal/job"
+	"github.com/tgsim/tgmod/internal/report"
+)
+
+// meanCI renders a "mean ± ci95" table cell.
+func meanCI(s Stat) string {
+	if s.N < 2 {
+		return report.FormatFloat(s.Mean)
+	}
+	return report.FormatFloat(s.Mean) + " ± " + report.FormatFloat(s.CI95)
+}
+
+// SummaryTable reports the fleet itself: replication count, worker width,
+// wall-clock, aggregate throughput, and cross-rep spread of the headline
+// per-replication scalars.
+func (r *Result) SummaryTable() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Replication fleet: %d reps x %d workers (base seed %d)",
+			len(r.Reps), r.Workers, r.Spec.BaseSeed),
+		"metric", "value")
+	t.AddRow("replications ok", fmt.Sprintf("%d / %d", r.Succeeded(), len(r.Reps)))
+	t.AddRow("fleet wall clock", report.FormatFloat(r.Wall)+" s")
+	t.AddRow("kernel events (total)", report.GroupInt(int64(r.TotalEvents())))
+	t.AddRow("aggregate throughput", report.GroupInt(int64(r.EventsPerSec()))+" events/s")
+	t.AddRow("finished jobs", meanCI(r.Stat(func(rep *Rep) float64 { return float64(rep.Finished) })))
+	t.AddRow("total NUs", meanCI(r.Stat(func(rep *Rep) float64 { return rep.Report.TotalNUs })))
+	t.AddRow("peak FEL", meanCI(r.Stat(func(rep *Rep) float64 { return float64(rep.PeakFEL) })))
+	return t
+}
+
+// ModalityTable reports per-modality usage with 95% confidence intervals
+// across replications, in the canonical modality order.
+func (r *Result) ModalityTable() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Usage by modality, mean ± 95%% CI over %d replications", r.Succeeded()),
+		"modality", "jobs", "NUs", "acct users", "end users")
+	for _, m := range job.AllModalities {
+		m := m
+		jobs := r.Stat(func(rep *Rep) float64 { return float64(rep.Report.Row(m).Jobs) })
+		nus := r.Stat(func(rep *Rep) float64 { return rep.Report.Row(m).NUs })
+		acct := r.Stat(func(rep *Rep) float64 { return float64(rep.Report.Row(m).AccountUsers) })
+		end := r.Stat(func(rep *Rep) float64 { return float64(rep.Report.Row(m).EndUsers) })
+		if jobs.N == 0 || jobs.Max == 0 && nus.Max == 0 {
+			continue
+		}
+		t.AddRow(string(m), meanCI(jobs), meanCI(nus), meanCI(acct), meanCI(end))
+	}
+	return t
+}
+
+// MechanismTable reports per-submission-mechanism usage with 95%
+// confidence intervals across replications. Mechanisms are the union over
+// replications, sorted by mean NUs descending.
+func (r *Result) MechanismTable() *report.Table {
+	mechs := map[string]bool{}
+	for i := range r.Reps {
+		if r.Reps[i].Err != nil {
+			continue
+		}
+		for _, row := range r.Reps[i].Mechanisms {
+			mechs[row.Mechanism] = true
+		}
+	}
+	type entry struct {
+		name             string
+		jobs, nus, users Stat
+	}
+	rows := make([]entry, 0, len(mechs))
+	for name := range mechs {
+		name := name
+		pick := func(rep *Rep) (row struct {
+			jobs, users int
+			nus         float64
+		}) {
+			for _, mr := range rep.Mechanisms {
+				if mr.Mechanism == name {
+					row.jobs, row.nus, row.users = mr.Jobs, mr.NUs, mr.AccountUsers
+					return
+				}
+			}
+			return
+		}
+		rows = append(rows, entry{
+			name: name,
+			jobs: r.Stat(func(rep *Rep) float64 { return float64(pick(rep).jobs) }),
+			nus:  r.Stat(func(rep *Rep) float64 { return pick(rep).nus }),
+			users: r.Stat(func(rep *Rep) float64 {
+				return float64(pick(rep).users)
+			}),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].nus.Mean != rows[j].nus.Mean {
+			return rows[i].nus.Mean > rows[j].nus.Mean
+		}
+		return rows[i].name < rows[j].name
+	})
+	t := report.NewTable(
+		fmt.Sprintf("Usage by submission mechanism, mean ± 95%% CI over %d replications", r.Succeeded()),
+		"mechanism", "jobs", "NUs", "acct users")
+	for _, e := range rows {
+		t.AddRow(e.name, meanCI(e.jobs), meanCI(e.nus), meanCI(e.users))
+	}
+	return t
+}

@@ -137,7 +137,7 @@ type Fabric struct {
 	nextID     int64
 	// recompute event bookkeeping: at most one pending completion event;
 	// when rates change the event is re-derived.
-	wake *des.Timer
+	wake des.Timer
 	// Statistics.
 	completed     uint64
 	bytesMoved    float64
@@ -409,10 +409,10 @@ func (f *Fabric) advance() {
 
 // rearm schedules the wake event at the earliest projected completion.
 func (f *Fabric) rearm() {
-	if f.wake != nil {
+	if f.wake.Pending() {
 		f.K.Cancel(f.wake)
-		f.wake = nil
 	}
+	f.wake = des.Timer{}
 	if len(f.active) == 0 {
 		return
 	}
@@ -443,7 +443,7 @@ func (f *Fabric) rearm() {
 		soonest = now + minStep
 	}
 	f.wake = f.K.AtNamed(soonest, "xfer-complete", func(*des.Kernel) {
-		f.wake = nil
+		f.wake = des.Timer{}
 		f.advance()
 		f.reshare()
 	})

@@ -1,0 +1,129 @@
+// The consolidated observability seam. Three PRs of observability features
+// accreted three separate attachment mechanisms on Config — the obs tracer
+// fields, the telemetry registry/snapshot fields, and the slo evaluator
+// field. An Observer collapses them into one interface: each observer
+// contributes to a single Attachment during assembly, and Run wires
+// whatever the merged attachment asks for (folding des.CombineTracers
+// behind the seam, so callers never manage tracer composition again).
+package scenario
+
+import (
+	"github.com/tgsim/tgmod/internal/des"
+	"github.com/tgsim/tgmod/internal/obs"
+	"github.com/tgsim/tgmod/internal/slo"
+	"github.com/tgsim/tgmod/internal/telemetry"
+)
+
+// Attachment is the single mount point observers write into. Run builds
+// one Attachment per simulation (seeding it from the deprecated
+// Config.Observe shim), offers it to every registered Observer in order,
+// and then installs exactly what the merged result requests. Scalar slots
+// (Recorder, Registry, Snapshots, SLO) follow a last-writer-wins rule;
+// Tracers accumulate and are combined with des.CombineTracers internally.
+type Attachment struct {
+	// Recorder receives job-lifecycle, scheduler-decision, data-transfer,
+	// gateway-session, and maintenance spans. Nil disables span tracing.
+	Recorder obs.Recorder
+	// SamplePeriod, when positive, samples per-machine queue depth and
+	// utilization plus federation-wide gauges every period of virtual time.
+	SamplePeriod des.Time
+	// Profile, when true, installs a wall-clock kernel self-profiler.
+	Profile bool
+	// Registry, when non-nil, receives live labeled metrics.
+	Registry *telemetry.Registry
+	// Snapshots, when non-nil, receives wall-throttled progress snapshots
+	// plus one final snapshot after the run completes.
+	Snapshots func(*telemetry.Snapshot)
+	// SLO, when non-nil, scores job starts and rejections against
+	// virtual-time service-level objectives.
+	SLO *slo.Evaluator
+	// Tracers are additional raw kernel tracers; Run folds them together
+	// with the profiler and snapshot publisher via des.CombineTracers.
+	Tracers []des.Tracer
+}
+
+// enabled reports whether anything is attached.
+func (a *Attachment) enabled() bool {
+	return a.Recorder != nil || a.SamplePeriod > 0 || a.Profile ||
+		a.Registry != nil || a.Snapshots != nil || a.SLO != nil || len(a.Tracers) > 0
+}
+
+// Observer contributes observability wiring to a run. Implementations
+// mutate the offered Attachment; they must not retain it past the call.
+type Observer interface {
+	Attach(a *Attachment)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(a *Attachment)
+
+// Attach implements Observer.
+func (f ObserverFunc) Attach(a *Attachment) { f(a) }
+
+// RecordSpans returns an Observer that installs rec as the run's span
+// recorder (job lifecycles, scheduler decisions, transfers, gateway
+// sessions, maintenance windows).
+func RecordSpans(rec obs.Recorder) Observer {
+	return ObserverFunc(func(a *Attachment) { a.Recorder = rec })
+}
+
+// SampleEvery returns an Observer that samples machine and federation
+// gauges every period of virtual time; the series land in Result.Sampler.
+func SampleEvery(period des.Time) Observer {
+	return ObserverFunc(func(a *Attachment) { a.SamplePeriod = period })
+}
+
+// ProfileKernel returns an Observer that installs the wall-clock kernel
+// self-profiler; the profile lands in Result.Profiler.
+func ProfileKernel() Observer {
+	return ObserverFunc(func(a *Attachment) { a.Profile = true })
+}
+
+// LiveTelemetry returns an Observer that binds reg as the run's live
+// metric registry (tg_* families). Fleet replications use one private
+// registry per replication and merge them afterwards.
+func LiveTelemetry(reg *telemetry.Registry) Observer {
+	return ObserverFunc(func(a *Attachment) { a.Registry = reg })
+}
+
+// StreamSnapshots returns an Observer that delivers wall-throttled
+// progress snapshots to sink during the run (plus one final snapshot).
+func StreamSnapshots(sink func(*telemetry.Snapshot)) Observer {
+	return ObserverFunc(func(a *Attachment) { a.Snapshots = sink })
+}
+
+// EvaluateSLO returns an Observer that scores the run against ev's
+// virtual-time objectives; when a registry is also attached the evaluator
+// is bound to it as tg_slo_* families.
+func EvaluateSLO(ev *slo.Evaluator) Observer {
+	return ObserverFunc(func(a *Attachment) { a.SLO = ev })
+}
+
+// TraceKernel returns an Observer that adds tr as a raw kernel tracer,
+// composed with whatever other tracers the run installs.
+func TraceKernel(tr des.Tracer) Observer {
+	return ObserverFunc(func(a *Attachment) {
+		if tr != nil {
+			a.Tracers = append(a.Tracers, tr)
+		}
+	})
+}
+
+// attachment merges the deprecated Observe shim with the registered
+// observers into the single view Run wires from.
+func (cfg *Config) attachment() Attachment {
+	a := Attachment{
+		Recorder:     cfg.Observe.Recorder,
+		SamplePeriod: cfg.Observe.SamplePeriod,
+		Profile:      cfg.Observe.Profile,
+		Registry:     cfg.Observe.Registry,
+		Snapshots:    cfg.Observe.Snapshots,
+		SLO:          cfg.Observe.SLO,
+	}
+	for _, o := range cfg.Observers {
+		if o != nil {
+			o.Attach(&a)
+		}
+	}
+	return a
+}

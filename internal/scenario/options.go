@@ -1,0 +1,135 @@
+// Functional options for building a Config. scenario.New replaces the
+// struct-poking construction style (take DefaultConfig, mutate fields)
+// that examples and experiments accreted: options compose, document their
+// intent at the call site, and give the fleet a natural way to rebuild a
+// per-seed Config from one shared option list. The Config struct and
+// DefaultConfig remain exported as a deprecated shim so existing callers
+// keep compiling.
+package scenario
+
+import (
+	"github.com/tgsim/tgmod/internal/des"
+	"github.com/tgsim/tgmod/internal/grid"
+	"github.com/tgsim/tgmod/internal/metasched"
+	"github.com/tgsim/tgmod/internal/sched"
+	"github.com/tgsim/tgmod/internal/users"
+	"github.com/tgsim/tgmod/internal/workload"
+)
+
+// Option mutates a Config under construction.
+type Option func(*Config)
+
+// New builds a Config: the defaults for seed, then each option in order.
+// Later options override earlier ones, so call-site composition reads
+// top-to-bottom:
+//
+//	cfg := scenario.New(1234,
+//		scenario.WithHorizon(10*des.Day),
+//		scenario.WithDrain(2*des.Day),
+//		scenario.WithObserver(scenario.LiveTelemetry(reg)),
+//	)
+func New(seed uint64, opts ...Option) Config {
+	cfg := DefaultConfig(seed)
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	return cfg
+}
+
+// WithSeed overrides the master seed (useful when replaying a shared
+// option list across fleet replications).
+func WithSeed(seed uint64) Option {
+	return func(c *Config) { c.Seed = seed }
+}
+
+// WithHorizon sets the simulated horizon.
+func WithHorizon(h des.Time) Option {
+	return func(c *Config) { c.Horizon = h }
+}
+
+// WithDrain sets the extra post-horizon time for queues to empty.
+func WithDrain(d des.Time) Option {
+	return func(c *Config) { c.DrainTime = d }
+}
+
+// WithPolicy sets the batch policy used at every site.
+func WithPolicy(p sched.Policy) Option {
+	return func(c *Config) { c.Policy = p }
+}
+
+// WithBrokerPolicy sets the metascheduler's selection policy.
+func WithBrokerPolicy(p metasched.SelectPolicy) Option {
+	return func(c *Config) { c.BrokerPolicy = p }
+}
+
+// WithBrokerTagCoverage sets the probability broker jobs carry their tag.
+func WithBrokerTagCoverage(f float64) Option {
+	return func(c *Config) { c.BrokerTagCoverage = f }
+}
+
+// WithUsers sets the population sizing.
+func WithUsers(u users.Config) Option {
+	return func(c *Config) { c.Users = u }
+}
+
+// WithAwardNUs sets the mean allocation size.
+func WithAwardNUs(nus float64) Option {
+	return func(c *Config) { c.AwardNUs = nus }
+}
+
+// WithGateways replaces the gateway set.
+func WithGateways(gws ...GatewayConfig) Option {
+	return func(c *Config) { c.Gateways = gws }
+}
+
+// WithGatewayCoverage sets AttrCoverage on every configured gateway — the
+// measurement-deployment knob the gateway-visibility experiments sweep.
+func WithGatewayCoverage(coverage float64) Option {
+	return func(c *Config) {
+		for i := range c.Gateways {
+			c.Gateways[i].AttrCoverage = coverage
+		}
+	}
+}
+
+// WithGenerators replaces the workload generator set. Generators are
+// stateful; never share one slice across concurrent replications — build
+// fresh generators per Config (fleet.Spec.Build exists for exactly this).
+func WithGenerators(gens ...workload.Generator) Option {
+	return func(c *Config) { c.Generators = gens }
+}
+
+// WithReportInterval sets how often site ledgers flush to the central DB.
+func WithReportInterval(t des.Time) Option {
+	return func(c *Config) { c.ReportInterval = t }
+}
+
+// WithMaintenance schedules recurring maintenance outages of the given
+// length on every machine, staggered by site.
+func WithMaintenance(every, length des.Time) Option {
+	return func(c *Config) {
+		c.MaintenanceEvery = every
+		c.MaintenanceLength = length
+	}
+}
+
+// WithFederation overrides the standard TG9 federation.
+func WithFederation(f *grid.Federation) Option {
+	return func(c *Config) { c.Federation = f }
+}
+
+// WithEventLimit bounds the kernel's future-event list: a run whose
+// pending count exceeds n fails with des.ErrEventBacklog instead of
+// draining a hot loop. Zero (the default) disables the bound.
+func WithEventLimit(n int) Option {
+	return func(c *Config) { c.EventLimit = n }
+}
+
+// WithObserver registers observers on the consolidated observability seam
+// (see Observer). Repeated use appends; observers attach in registration
+// order.
+func WithObserver(obs ...Observer) Option {
+	return func(c *Config) { c.Observers = append(c.Observers, obs...) }
+}

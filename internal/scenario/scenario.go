@@ -147,7 +147,19 @@ type Config struct {
 	MaintenanceLength des.Time
 	// Federation override; nil means TG9.
 	Federation *grid.Federation
+	// EventLimit, when positive, bounds the kernel's future-event list; a
+	// run that exceeds it fails with des.ErrEventBacklog. Fleet workers use
+	// this to fail a runaway replication cleanly.
+	EventLimit int
+	// Observers contribute observability wiring through the consolidated
+	// Attachment seam; register them with WithObserver.
+	Observers []Observer
 	// Observe configures the observability layer (zero value = off).
+	//
+	// Deprecated: use Observers (WithObserver with RecordSpans,
+	// SampleEvery, ProfileKernel, LiveTelemetry, StreamSnapshots,
+	// EvaluateSLO, TraceKernel). The field remains as a shim — Run folds it
+	// into the same Attachment — but new code should not touch it.
 	Observe Observe
 }
 
@@ -235,15 +247,21 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("scenario: non-positive horizon")
 	}
 	k := des.New()
-	rec := cfg.Observe.Recorder
-	if ev := cfg.Observe.SLO; ev != nil {
+	if cfg.EventLimit > 0 {
+		k.SetPendingLimit(cfg.EventLimit)
+	}
+	// Merge the deprecated Observe shim and the registered Observers into
+	// the single attachment the rest of assembly wires from.
+	att := cfg.attachment()
+	rec := att.Recorder
+	if ev := att.SLO; ev != nil {
 		// The evaluator reads the kernel clock for burn-rate exposition and
 		// surfaces tg_slo_* families when a registry is configured.
 		ev.Now = k.Now
-		ev.Bind(cfg.Observe.Registry)
+		ev.Bind(att.Registry)
 	}
 	var profiler *obs.KernelProfiler
-	if cfg.Observe.Profile {
+	if att.Profile {
 		// Created now, installed with the other tracers just before the run.
 		profiler = obs.NewKernelProfiler(k)
 	}
@@ -351,8 +369,8 @@ func Run(cfg Config) (*Result, error) {
 		if rec != nil {
 			installJobSpans(rec, k, s)
 		}
-		if cfg.Observe.SLO != nil {
-			installSLO(cfg.Observe.SLO, k, s)
+		if att.SLO != nil {
+			installSLO(att.SLO, k, s)
 		}
 	}
 	if rec != nil {
@@ -421,8 +439,8 @@ func Run(cfg Config) (*Result, error) {
 	// Live telemetry, installed after every seam handler exists so the
 	// instrument wrappers compose with (never replace) the span recorders.
 	var th *telemetryHooks
-	if cfg.Observe.Registry != nil {
-		th = installTelemetry(cfg.Observe.Registry, k, fed, scheds, fabric,
+	if att.Registry != nil {
+		th = installTelemetry(att.Registry, k, fed, scheds, fabric,
 			gateways, bank, &finished, rec)
 	}
 
@@ -479,20 +497,23 @@ func Run(cfg Config) (*Result, error) {
 	// Virtual-time metric sampling, armed last so the first tick sees the
 	// fully assembled federation.
 	var sampler *obs.Sampler
-	if cfg.Observe.SamplePeriod > 0 {
-		sampler = buildSampler(cfg.Observe.SamplePeriod, k, fed, scheds, fabric, bank, &finished)
+	if att.SamplePeriod > 0 {
+		sampler = buildSampler(att.SamplePeriod, k, fed, scheds, fabric, bank, &finished)
 		sampler.Start(k)
 	}
 
 	// Progress snapshots ride the tracer seam (no kernel events), combined
 	// with the profiler when both are on.
 	var pub *telemetry.Publisher
-	if cfg.Observe.Snapshots != nil {
+	if att.Snapshots != nil {
 		pub = &telemetry.Publisher{
 			Build: snapshotBuilder(fed, scheds, &finished, cfg.Horizon+cfg.DrainTime),
-			Sink:  cfg.Observe.Snapshots,
+			Sink:  att.Snapshots,
 		}
 	}
+	// Tracer composition is folded behind the Observer seam: the profiler,
+	// the snapshot publisher, and any raw TraceKernel tracers combine here,
+	// invisibly to callers.
 	var tracers []des.Tracer
 	if profiler != nil {
 		tracers = append(tracers, profiler)
@@ -500,12 +521,16 @@ func Run(cfg Config) (*Result, error) {
 	if pub != nil {
 		tracers = append(tracers, pub)
 	}
+	tracers = append(tracers, att.Tracers...)
 	if tr := des.CombineTracers(tracers...); tr != nil {
 		k.SetTracer(tr)
 	}
 
-	// Run to the horizon plus drain, then final flush.
-	k.RunUntil(cfg.Horizon + cfg.DrainTime)
+	// Run to the horizon plus drain, then final flush. A backlog breach
+	// (EventLimit) surfaces here as des.ErrEventBacklog.
+	if err := k.RunUntil(cfg.Horizon + cfg.DrainTime); err != nil {
+		return nil, fmt.Errorf("scenario: run: %w", err)
+	}
 	if err := flushAll(); err != nil {
 		return nil, err
 	}

@@ -59,6 +59,20 @@ func installTelemetry(reg *telemetry.Registry, k *des.Kernel, fed *grid.Federati
 	modJobs := reg.Counter("tg_jobs_by_modality_total", "Finished jobs by ground-truth modality.", "modality")
 	modNUs := reg.Counter("tg_nus_by_modality_total", "Charged NUs by ground-truth modality.", "modality")
 
+	// Per-job modality counters are resolved once for the whole run and
+	// shared by every machine listener: With() joins and hashes its label
+	// values on each call, and EventFinished fires for every job — the
+	// hottest telemetry path at scale. The taxonomy is closed, so batching
+	// the lookups into one map walk per job is free of missed labels.
+	type modalityCounters struct{ jobs, nus *telemetry.Counter }
+	modCounters := make(map[job.Modality]modalityCounters, len(job.AllModalities)+1)
+	for _, mod := range append(append([]job.Modality(nil), job.AllModalities...), job.ModUnknown) {
+		modCounters[mod] = modalityCounters{
+			jobs: modJobs.With(string(mod)),
+			nus:  modNUs.With(string(mod)),
+		}
+	}
+
 	for _, m := range fed.Machines() {
 		m := m
 		s := scheds[m.ID]
@@ -88,12 +102,13 @@ func installTelemetry(reg *telemetry.Registry, k *des.Kernel, fed *grid.Federati
 				wait.Observe(float64(e.Job.WaitTime()))
 			case sched.EventFinished:
 				finishedC.Inc()
-				mod := string(e.Job.Truth.Modality)
+				mod := e.Job.Truth.Modality
 				if mod == "" {
-					mod = string(job.ModUnknown)
+					mod = job.ModUnknown
 				}
-				modJobs.With(mod).Inc()
-				modNUs.With(mod).Add(m.NUs(e.Job.CoreSeconds()))
+				mc := modCounters[mod]
+				mc.jobs.Inc()
+				mc.nus.Add(m.NUs(e.Job.CoreSeconds()))
 			case sched.EventPreempted:
 				preempted.Inc()
 			case sched.EventRejected:

@@ -120,7 +120,7 @@ type reservation struct {
 // running tracks an executing job.
 type running struct {
 	j         *job.Job
-	endTimer  *des.Timer
+	endTimer  des.Timer
 	endsBy    des.Time // guaranteed end: start + requested walltime
 	fromResID string   // non-empty if the job runs inside a reservation
 }
@@ -168,6 +168,18 @@ type Scheduler struct {
 	// loops again.
 	rescheduling   bool
 	needReschedule bool
+
+	// Estimate cache. The conservative queue plan EstimateStart builds is
+	// a pure function of scheduler state, and the metascheduler polls
+	// every machine for every brokered arrival — profiling shows that
+	// replanning dominating large runs. stateVersion fingerprints every
+	// queue/running/reservation/outage mutation; a matching version means
+	// the cached planned profile (which earliestFit reads without
+	// mutating) is still exact.
+	stateVersion uint64
+	estVersion   uint64
+	estProfile   *profile
+	estTail      des.Time
 }
 
 // fsEntry is one user's decayed usage accumulator.
@@ -196,12 +208,17 @@ func (s *Scheduler) Policy() Policy { return s.policy }
 func (s *Scheduler) Subscribe(l Listener) { s.listeners = append(s.listeners, l) }
 
 func (s *Scheduler) emit(kind EventKind, j *job.Job) {
+	// Every lifecycle transition changes the availability picture.
+	s.stateVersion++
 	for _, l := range s.listeners {
 		l(Event{Kind: kind, Job: j})
 	}
 }
 
 func (s *Scheduler) probe(kind string, j *job.Job) {
+	// Decisions without a lifecycle event (reservations, outages) still
+	// move the profile; over-invalidating the estimate cache is harmless.
+	s.stateVersion++
 	if s.Probe != nil {
 		s.Probe(kind, j)
 	}
@@ -348,6 +365,7 @@ func (s *Scheduler) ScheduleOutage(start, end des.Time) error {
 	}
 	o := &outage{start: start, end: end}
 	s.outages = append(s.outages, o)
+	s.stateVersion++
 	s.K.AtNamed(start, "outage-start", func(*des.Kernel) {
 		s.probe(ProbeOutageBegin, nil)
 		// Preempt stragglers (only possible when the outage was announced
@@ -384,6 +402,7 @@ func (s *Scheduler) reschedule() {
 		return
 	}
 	s.rescheduling = true
+	s.stateVersion++
 	defer func() { s.rescheduling = false }()
 	for {
 		s.needReschedule = false
@@ -746,6 +765,7 @@ func (s *Scheduler) Reserve(id string, cores int, start, end des.Time) error {
 	}
 	rv := &reservation{id: id, cores: cores, start: start, end: end}
 	s.resvs = append(s.resvs, rv)
+	s.stateVersion++
 	s.K.AtNamed(start, "resv-start", func(*des.Kernel) { s.activateReservation(rv) })
 	return nil
 }
@@ -818,34 +838,46 @@ func (s *Scheduler) EstimateStart(cores int, walltime des.Time) (des.Time, bool)
 	if cores <= 0 || cores > s.M.BatchCores() {
 		return 0, false
 	}
-	p := s.buildProfile()
-	// The estimator plans the queue in detail up to a depth bound, then
-	// folds anything beyond it into an aggregate backlog term (total
-	// requested core-seconds divided by machine capacity). Detailed
-	// planning keeps estimates honest at normal depths — a truncated plan
-	// would bias optimistic exactly when predictions matter — while the
-	// aggregate tail keeps the call linear when a queue has blown up.
-	const maxDetailed = 1000
-	detail := len(s.queue)
-	if detail > maxDetailed {
-		detail = maxDetailed
-	}
-	for _, q := range s.queue[:detail] {
-		at, ok := p.earliestFit(s.K.Now(), q.Cores, q.ReqWalltime)
-		if ok {
-			p.subtract(at, at+q.ReqWalltime, q.Cores)
+	// The planned profile is cached across calls keyed on stateVersion:
+	// until some lifecycle event, reservation, or outage changes the
+	// availability picture, the plan below stays exact, and the common
+	// metascheduler pattern — estimate every machine, then estimate again
+	// for co-allocation — reuses it instead of replanning the whole queue.
+	if s.estProfile == nil || s.estVersion != s.stateVersion {
+		p := s.buildProfile()
+		// The estimator plans the queue in detail up to a depth bound, then
+		// folds anything beyond it into an aggregate backlog term (total
+		// requested core-seconds divided by machine capacity). Detailed
+		// planning keeps estimates honest at normal depths — a truncated
+		// plan would bias optimistic exactly when predictions matter —
+		// while the aggregate tail keeps the call linear when a queue has
+		// blown up.
+		const maxDetailed = 1000
+		detail := len(s.queue)
+		if detail > maxDetailed {
+			detail = maxDetailed
 		}
+		for _, q := range s.queue[:detail] {
+			at, ok := p.earliestFit(s.K.Now(), q.Cores, q.ReqWalltime)
+			if ok {
+				p.subtract(at, at+q.ReqWalltime, q.Cores)
+			}
+		}
+		var tail des.Time
+		if len(s.queue) > detail {
+			var tailCS float64
+			for _, q := range s.queue[detail:] {
+				tailCS += float64(q.ReqWalltime) * float64(q.Cores)
+			}
+			tail = des.Time(tailCS / float64(s.M.BatchCores()))
+		}
+		s.estProfile = p
+		s.estTail = tail
+		s.estVersion = s.stateVersion
 	}
-	at, ok := p.earliestFit(s.K.Now(), cores, walltime)
+	at, ok := s.estProfile.earliestFit(s.K.Now(), cores, walltime)
 	if !ok {
 		return 0, false
 	}
-	if len(s.queue) > detail {
-		var tailCS float64
-		for _, q := range s.queue[detail:] {
-			tailCS += float64(q.ReqWalltime) * float64(q.Cores)
-		}
-		at += des.Time(tailCS / float64(s.M.BatchCores()))
-	}
-	return at, true
+	return at + s.estTail, true
 }

@@ -209,7 +209,9 @@ func Chain(id, engine string, tagged bool, k *des.Kernel, s Submitter, jobs []*j
 	w := NewInstance(id, engine, tagged, k, s)
 	prev := ""
 	for i, j := range jobs {
-		name := fmt.Sprintf("stage-%03d", i)
+		// Stage names repeat across every chain campaign in a run; intern
+		// so each distinct index is stored once, not once per campaign.
+		name := des.Intern(fmt.Sprintf("stage-%03d", i))
 		var deps []string
 		if prev != "" {
 			deps = append(deps, prev)
@@ -232,7 +234,7 @@ func FanOutFanIn(id, engine string, tagged bool, k *des.Kernel, s Submitter,
 	}
 	names := make([]string, 0, len(workers))
 	for i, wj := range workers {
-		name := fmt.Sprintf("worker-%03d", i)
+		name := des.Intern(fmt.Sprintf("worker-%03d", i))
 		if err := w.AddTask(name, wj, "setup"); err != nil {
 			return nil, err
 		}

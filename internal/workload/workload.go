@@ -185,6 +185,10 @@ func PoissonArrivals(e *Env, rng *simrand.Stream, peakRate float64, name string,
 	if peakRate <= 0 {
 		panic("workload: non-positive arrival rate")
 	}
+	// Arrival events dominate every simulation's event population; intern
+	// the name once at generator setup so tracer and profiler maps across
+	// all replications of a fleet share one backing string.
+	name = des.Intern(name)
 	var arm func()
 	arm = func() {
 		dt := des.Time(rng.Exp(peakRate))
