@@ -88,6 +88,7 @@ func run() error {
 			t, _, err := experiments.FLFleetScaling(*seed, sc)
 			return t, err
 		}},
+		{"FT", func() (fmt.Stringer, error) { return experiments.FTChaos(*seed, sc) }},
 	}
 	wall := map[string]float64{}
 	for _, g := range gens {

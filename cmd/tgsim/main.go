@@ -8,6 +8,7 @@
 //	tgsim [-seed N] [-days D] [-scale quick|full] [-policy fcfs|easy|conservative|fairshare]
 //	      [-trace out.jsonl] [-csv-dir DIR] [-config cfg.json] [-dump-config cfg.json]
 //	      [-maintenance-every D] [-quiet]
+//	      [-faults X] [-mtbf DAYS] [-checkpoint MINUTES]
 //	      [-chrome-trace t.json] [-obs-jsonl t.jsonl] [-obs-csv DIR]
 //	      [-obs-sample-hours H] [-obs-max-events N] [-strict-obs] [-profile]
 //	      [-slo] [-analysis] [-export DIR]
@@ -38,6 +39,7 @@ import (
 	"github.com/tgsim/tgmod/internal/core"
 	"github.com/tgsim/tgmod/internal/des"
 	"github.com/tgsim/tgmod/internal/experiments"
+	"github.com/tgsim/tgmod/internal/faults"
 	"github.com/tgsim/tgmod/internal/fleet"
 	"github.com/tgsim/tgmod/internal/obs"
 	"github.com/tgsim/tgmod/internal/regress"
@@ -81,6 +83,9 @@ func run() error {
 	strictObs := flag.Bool("strict-obs", false, "exit non-zero when the span buffer dropped events")
 	reps := flag.Int("reps", 1, "run a replication fleet of N seeds (seed, seed+1, ...) and report mean ± 95% CI tables")
 	parallel := flag.Int("parallel", 0, "fleet worker count (with -reps; 0 = GOMAXPROCS)")
+	faultsX := flag.Float64("faults", 0, "enable deterministic fault injection at this intensity (1 = nominal MTBFs, 2 = twice as often; 0 = off)")
+	mtbfDays := flag.Float64("mtbf", 0, "override the machine crash MTBF in days (with -faults; 0 keeps the default)")
+	checkpointMin := flag.Float64("checkpoint", 0, "checkpoint/restart every N minutes: killed and preempted jobs resume from the last checkpoint (0 = off)")
 	flag.Parse()
 
 	// buildCfg rebuilds the scenario for a seed. Single runs call it once;
@@ -127,6 +132,18 @@ func run() error {
 		if *maintDays > 0 {
 			cfg.MaintenanceEvery = des.Time(*maintDays) * des.Day
 			cfg.MaintenanceLength = des.Time(*maintHours) * des.Hour
+		}
+		if *faultsX > 0 {
+			fc := faults.DefaultConfig()
+			fc.Intensity = *faultsX
+			if *mtbfDays > 0 {
+				fc.MachineMTBF = des.Time(*mtbfDays) * des.Day
+			}
+			cfg.Faults = fc
+		}
+		if *checkpointMin > 0 {
+			cfg.CheckpointRestart = true
+			cfg.CheckpointInterval = des.Time(*checkpointMin) * des.Minute
 		}
 		return cfg, nil
 	}
@@ -418,6 +435,18 @@ func run() error {
 	}
 	if err := saveCSV("machines", util); err != nil {
 		return err
+	}
+
+	// Fault-injection summary (only on -faults runs).
+	if res.Faults != nil {
+		st := res.Faults.Stats()
+		fmt.Printf("\nFaults: %d crashes (%d jobs killed), %d node failures (%d killed), "+
+			"%d link degrades, %d partitions, %d gateway flaps\n",
+			st.MachineCrashes, st.CrashKills, st.NodeFailures, st.NodeKills,
+			st.LinkDegrades, st.LinkPartitions, st.GatewayFlaps)
+		fmt.Printf("Resilience: %d failovers, %d requeues, %d gateway retries, "+
+			"%d transfer restarts, %d give-ups\n",
+			st.Failovers, st.Requeues, st.GatewayRetries, st.TransferRestarts, st.GiveUps)
 	}
 
 	// Wait decomposition and critical paths (the trace-analysis layer).

@@ -38,6 +38,12 @@ type JobRecord struct {
 	ExitStatus  string  `json:"exit"`
 	Preemptions int     `json:"preempts,omitempty"`
 
+	// Wasted work: execution lost to unplanned failures (beyond the last
+	// checkpoint) that had to be redone. Separates goodput from raw usage
+	// in chaos experiments; zero (and absent on the wire) in fault-free runs.
+	WastedCoreSeconds float64 `json:"wasted_core_s,omitempty"`
+	WastedNUs         float64 `json:"wasted_nus,omitempty"`
+
 	// Instrumentation attributes (may be empty depending on coverage).
 	SubmitVia      string `json:"submit_via,omitempty"`
 	GatewayID      string `json:"gateway_id,omitempty"`
@@ -77,6 +83,9 @@ func RecordOf(j *job.Job, m *grid.Machine) JobRecord {
 		QOS:         j.QOS.String(),
 		ExitStatus:  j.State.String(),
 		Preemptions: j.Preemptions,
+
+		WastedCoreSeconds: j.WastedCoreSeconds,
+		WastedNUs:         m.NUs(j.WastedCoreSeconds),
 
 		SubmitVia:      j.Attr.SubmitVia,
 		GatewayID:      j.Attr.GatewayID,
@@ -158,7 +167,7 @@ func DecodePacket(data []byte) (*Packet, error) {
 	if len(data) > 0 && data[0] == '{' {
 		var p Packet
 		if err := json.Unmarshal(data, &p); err != nil {
-			return nil, fmt.Errorf("accounting: bad packet: %w", err)
+			return nil, fmt.Errorf("%w: %w", ErrBadPacket, err)
 		}
 		return &p, nil
 	}

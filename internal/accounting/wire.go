@@ -16,14 +16,26 @@ package accounting
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 )
 
+// ErrBadPacket is the typed error every malformed-packet failure wraps:
+// truncation, bad magic, unknown version, trailing bytes, or invalid JSON.
+// Decoding never panics on corrupt input; match with
+// errors.Is(err, ErrBadPacket).
+var ErrBadPacket = errors.New("accounting: bad packet")
+
 // wireMagic brands binary packets; wireVersion is the schema revision.
+// Version 2 appends the wasted-work fields to each job record; the encoder
+// emits version 1 (byte-identical to the pre-fault codec) whenever every
+// job's wasted fields are zero, so fault-free runs keep their exact wire
+// bytes, and the decoder accepts both.
 const (
-	wireMagic   = "TGP"
-	wireVersion = byte(1)
+	wireMagic    = "TGP"
+	wireVersion  = byte(1)
+	wireVersion2 = byte(2)
 )
 
 func appendU64(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
@@ -45,12 +57,13 @@ func appendStr(b []byte, s string) []byte {
 type wireReader struct {
 	data []byte
 	off  int
+	ver  byte
 	err  error
 }
 
 func (r *wireReader) fail(what string) {
 	if r.err == nil {
-		r.err = fmt.Errorf("accounting: bad packet: truncated %s at offset %d", what, r.off)
+		r.err = fmt.Errorf("%w: truncated %s at offset %d", ErrBadPacket, what, r.off)
 	}
 }
 
@@ -122,7 +135,7 @@ func (r *wireReader) count(what string) int {
 	return n
 }
 
-func appendJobRecord(b []byte, j *JobRecord) []byte {
+func appendJobRecord(b []byte, j *JobRecord, ver byte) []byte {
 	b = appendI64(b, j.JobID)
 	b = appendStr(b, j.Name)
 	b = appendStr(b, j.User)
@@ -150,6 +163,10 @@ func appendJobRecord(b []byte, j *JobRecord) []byte {
 	b = appendStr(b, j.ScienceField)
 	b = appendStr(b, j.TruthModality)
 	b = appendStr(b, j.TruthCampaign)
+	if ver >= wireVersion2 {
+		b = appendF64(b, j.WastedCoreSeconds)
+		b = appendF64(b, j.WastedNUs)
+	}
 	return b
 }
 
@@ -181,6 +198,10 @@ func (r *wireReader) jobRecord(j *JobRecord) {
 	j.ScienceField = r.str("science_field")
 	j.TruthModality = r.str("truth")
 	j.TruthCampaign = r.str("truth_campaign")
+	if r.ver >= wireVersion2 {
+		j.WastedCoreSeconds = r.f64("wasted_core_s")
+		j.WastedNUs = r.f64("wasted_nus")
+	}
 }
 
 func appendTransferRecord(b []byte, t *TransferRecord) []byte {
@@ -244,14 +265,24 @@ func (p *Packet) encodeWire() []byte {
 	// enough to avoid most growth copies.
 	b := make([]byte, 0, 64+200*len(p.Jobs)+64*len(p.Transfers)+
 		48*len(p.GatewayAttrs)+48*len(p.Storage))
+	// Version selection happens at encode time: only packets that actually
+	// carry wasted-work data pay for (and signal) the v2 fields, keeping
+	// fault-free packets byte-identical to the v1 codec.
+	ver := wireVersion
+	for i := range p.Jobs {
+		if p.Jobs[i].WastedCoreSeconds != 0 || p.Jobs[i].WastedNUs != 0 {
+			ver = wireVersion2
+			break
+		}
+	}
 	b = append(b, wireMagic...)
-	b = append(b, wireVersion)
+	b = append(b, ver)
 	b = appendStr(b, p.Site)
 	b = appendU64(b, p.Seq)
 	b = appendF64(b, p.SentAt)
 	b = appendU64(b, uint64(len(p.Jobs)))
 	for i := range p.Jobs {
-		b = appendJobRecord(b, &p.Jobs[i])
+		b = appendJobRecord(b, &p.Jobs[i], ver)
 	}
 	b = appendU64(b, uint64(len(p.Transfers)))
 	for i := range p.Transfers {
@@ -271,12 +302,13 @@ func (p *Packet) encodeWire() []byte {
 // decodeWire parses the binary wire form produced by encodeWire.
 func decodeWire(data []byte) (*Packet, error) {
 	if len(data) < len(wireMagic)+1 || string(data[:len(wireMagic)]) != wireMagic {
-		return nil, fmt.Errorf("accounting: bad packet: missing wire magic")
+		return nil, fmt.Errorf("%w: missing wire magic", ErrBadPacket)
 	}
-	if v := data[len(wireMagic)]; v != wireVersion {
-		return nil, fmt.Errorf("accounting: bad packet: unsupported wire version %d", v)
+	v := data[len(wireMagic)]
+	if v != wireVersion && v != wireVersion2 {
+		return nil, fmt.Errorf("%w: unsupported wire version %d", ErrBadPacket, v)
 	}
-	r := &wireReader{data: data, off: len(wireMagic) + 1}
+	r := &wireReader{data: data, off: len(wireMagic) + 1, ver: v}
 	p := &Packet{}
 	p.Site = r.str("site")
 	p.Seq = r.u64("seq")
@@ -309,7 +341,7 @@ func decodeWire(data []byte) (*Packet, error) {
 		return nil, r.err
 	}
 	if r.off != len(data) {
-		return nil, fmt.Errorf("accounting: bad packet: %d trailing bytes", len(data)-r.off)
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadPacket, len(data)-r.off)
 	}
 	return p, nil
 }

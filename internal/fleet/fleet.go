@@ -64,6 +64,12 @@ type Spec struct {
 	// scale). Off by default: per-rep reports and registries are kept,
 	// the heavyweight state is released as soon as a rep is classified.
 	KeepResults bool
+	// Inspect, when non-nil, runs on each successful replication's full
+	// result before the heavyweight state is released; its return value is
+	// kept in Rep.Custom. Experiments use it to extract small per-rep
+	// scalars (fault stats, goodput) without paying for KeepResults.
+	// Inspect runs on the worker goroutine and must not touch shared state.
+	Inspect func(seed uint64, res *scenario.Result) any
 }
 
 // Rep is the outcome of one replication.
@@ -85,6 +91,8 @@ type Rep struct {
 	Events  uint64
 	PeakFEL int
 	Wall    float64
+	// Custom holds Spec.Inspect's return value (nil without Inspect).
+	Custom any
 	// Err is the replication's failure, if any (a panicking replication
 	// is captured here too, so one bad seed cannot take down the fleet).
 	Err error
@@ -200,6 +208,9 @@ func runRep(spec *Spec, i int, rep *Rep) {
 	cl := core.NewClassifier(ccfg)
 	rep.Report = core.BuildReport(res.Central, cl.Classify(res.Central))
 	rep.Mechanisms = core.MechanismReport(res.Central)
+	if spec.Inspect != nil {
+		rep.Custom = spec.Inspect(rep.Seed, res)
+	}
 	if spec.KeepResults {
 		rep.Result = res
 	}

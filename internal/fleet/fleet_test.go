@@ -179,6 +179,71 @@ func TestFleetBacklogFailure(t *testing.T) {
 	}
 }
 
+// TestFleetPoisonedSeedReporting: a failed replication must surface in the
+// merged summary table as its own row — seed and error visible — while the
+// healthy reps still produce statistics, instead of the fleet aborting.
+func TestFleetPoisonedSeedReporting(t *testing.T) {
+	res, err := Run(Spec{
+		Reps:     3,
+		Parallel: 3,
+		BaseSeed: 7,
+		Build: func(seed uint64) scenario.Config {
+			cfg := testBuild(seed)
+			if seed == 8 { // poison the middle rep
+				cfg.EventLimit = 8
+			}
+			return cfg
+		},
+	})
+	if !errors.Is(err, des.ErrEventBacklog) {
+		t.Fatalf("fleet error = %v, want ErrEventBacklog", err)
+	}
+	if res.Succeeded() != 2 {
+		t.Fatalf("Succeeded() = %d, want 2", res.Succeeded())
+	}
+	sum := res.SummaryTable().String()
+	if !strings.Contains(sum, "2 / 3") {
+		t.Errorf("summary missing success ratio:\n%s", sum)
+	}
+	if !strings.Contains(sum, "rep 1 (seed 8)") || !strings.Contains(sum, "FAILED:") {
+		t.Errorf("summary table does not report the poisoned seed:\n%s", sum)
+	}
+	if strings.Contains(sum, "rep 0 (seed 7)") || strings.Contains(sum, "rep 2 (seed 9)") {
+		t.Errorf("summary table flags healthy reps as failed:\n%s", sum)
+	}
+	// The modality table still carries statistics from the healthy reps.
+	if mod := res.ModalityTable().String(); !strings.Contains(mod, "±") {
+		t.Errorf("modality table lost its CIs with one failed rep:\n%s", mod)
+	}
+}
+
+// TestFleetInspect: Spec.Inspect extracts per-rep values from the full
+// result without KeepResults retaining it.
+func TestFleetInspect(t *testing.T) {
+	res, err := Run(Spec{
+		Reps:     2,
+		Parallel: 2,
+		BaseSeed: 42,
+		Build:    testBuild,
+		Inspect: func(seed uint64, r *scenario.Result) any {
+			return r.Finished
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Reps {
+		rep := &res.Reps[i]
+		if rep.Result != nil {
+			t.Errorf("rep %d retained its Result without KeepResults", i)
+		}
+		got, ok := rep.Custom.(int)
+		if !ok || got != rep.Finished {
+			t.Errorf("rep %d Custom = %v, want Finished=%d", i, rep.Custom, rep.Finished)
+		}
+	}
+}
+
 // TestFleetSpecValidation covers the defaults and the required Build.
 func TestFleetSpecValidation(t *testing.T) {
 	if _, err := Run(Spec{Reps: 1}); err == nil {

@@ -31,6 +31,15 @@ func (r *Result) SummaryTable() *report.Table {
 	t.AddRow("finished jobs", meanCI(r.Stat(func(rep *Rep) float64 { return float64(rep.Finished) })))
 	t.AddRow("total NUs", meanCI(r.Stat(func(rep *Rep) float64 { return rep.Report.TotalNUs })))
 	t.AddRow("peak FEL", meanCI(r.Stat(func(rep *Rep) float64 { return float64(rep.PeakFEL) })))
+	// Failed replications stay visible in the merged report — one row per
+	// bad seed with its error — instead of silently shrinking the CI count
+	// or aborting the fleet.
+	for i := range r.Reps {
+		if err := r.Reps[i].Err; err != nil {
+			t.AddRow(fmt.Sprintf("rep %d (seed %d)", r.Reps[i].Index, r.Reps[i].Seed),
+				"FAILED: "+err.Error())
+		}
+	}
 	return t
 }
 

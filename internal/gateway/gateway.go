@@ -40,6 +40,10 @@ type Gateway struct {
 	// before it is handed to the submitter. attributed reports whether the
 	// request carried its end-user attribute record.
 	OnRequest func(endUser string, j *job.Job, attributed bool)
+	// OnDown, when non-nil, observes every request rejected because the
+	// gateway endpoint is unavailable (see SetAvailable). The fault layer
+	// hooks this to schedule deterministic retries.
+	OnDown func(endUser string, j *job.Job)
 
 	k      *des.Kernel
 	rng    *simrand.Stream
@@ -47,10 +51,12 @@ type Gateway struct {
 	ledger *accounting.Ledger
 
 	// Registered end users and activity counters.
-	users       map[string]bool
-	requests    uint64
-	attributed  uint64
-	firstSeenAt map[string]des.Time
+	available    bool
+	users        map[string]bool
+	requests     uint64
+	attributed   uint64
+	rejectedDown uint64
+	firstSeenAt  map[string]des.Time
 }
 
 // New returns a gateway that submits through s and spools attribute records
@@ -66,9 +72,22 @@ func New(id, account, project, field string, coverage float64,
 	return &Gateway{
 		ID: id, CommunityAccount: account, Project: project, ScienceField: field,
 		AttrCoverage: coverage, k: k, rng: rng, submit: s, ledger: ledger,
-		users: make(map[string]bool), firstSeenAt: make(map[string]des.Time),
+		available: true,
+		users:     make(map[string]bool), firstSeenAt: make(map[string]des.Time),
 	}, nil
 }
+
+// SetAvailable flips the endpoint up or down. While down, Request rejects
+// every submission (counted by RejectedDown, observed by OnDown) without
+// touching the attribute-coverage stream, so flapping changes no draws for
+// requests that do get through.
+func (g *Gateway) SetAvailable(up bool) { g.available = up }
+
+// Available reports whether the endpoint currently accepts submissions.
+func (g *Gateway) Available() bool { return g.available }
+
+// RejectedDown returns how many requests were turned away while down.
+func (g *Gateway) RejectedDown() uint64 { return g.rejectedDown }
 
 // Users returns the number of distinct end users seen so far.
 func (g *Gateway) Users() int { return len(g.users) }
@@ -89,6 +108,13 @@ func (g *Gateway) FirstSeen(user string) (des.Time, bool) {
 // to the community account and tagged as a gateway submission; with
 // probability AttrCoverage the end-user attribute record is also emitted.
 func (g *Gateway) Request(endUser string, j *job.Job) {
+	if !g.available {
+		g.rejectedDown++
+		if g.OnDown != nil {
+			g.OnDown(endUser, j)
+		}
+		return
+	}
 	if !g.users[endUser] {
 		g.users[endUser] = true
 		g.firstSeenAt[endUser] = g.k.Now()

@@ -159,6 +159,10 @@ type Job struct {
 	EndTime     des.Time
 	State       State
 	Preemptions int
+	// WastedCoreSeconds accumulates execution lost to unplanned failures:
+	// work done beyond the last checkpoint (or the whole run without
+	// checkpointing) that must be redone. Zero in fault-free runs.
+	WastedCoreSeconds float64
 
 	Attr  Attributes
 	Truth Truth

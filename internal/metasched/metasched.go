@@ -62,10 +62,19 @@ type Broker struct {
 	// Stage estimates staging cost for DataAware; nil disables the term.
 	Stage StageCost
 
+	// OnFailover, when non-nil, observes every job the broker re-places
+	// after a machine failure (see Failover).
+	OnFailover func(j *job.Job, to string)
+
 	routed    uint64
 	coallocs  uint64
+	failovers uint64
 	nextCoID  int64
 	perTarget map[string]uint64
+	// unhealthyUntil marks machines the broker avoids until the given
+	// virtual time (crash repair + cooldown). Lazily allocated so brokers
+	// in fault-free runs carry no extra state.
+	unhealthyUntil map[string]des.Time
 }
 
 // New returns a broker over the given schedulers.
@@ -90,12 +99,32 @@ func (b *Broker) RoutedTo(machine string) uint64 { return b.perTarget[machine] }
 // CoAllocations returns the number of co-allocation groups placed.
 func (b *Broker) CoAllocations() uint64 { return b.coallocs }
 
+// Failovers returns the number of jobs re-placed after machine failures.
+func (b *Broker) Failovers() uint64 { return b.failovers }
+
+// MarkUnhealthy excludes a machine from routing until the given virtual
+// time. Repeated marks keep the latest horizon.
+func (b *Broker) MarkUnhealthy(machine string, until des.Time) {
+	if b.unhealthyUntil == nil {
+		b.unhealthyUntil = make(map[string]des.Time)
+	}
+	if until > b.unhealthyUntil[machine] {
+		b.unhealthyUntil[machine] = until
+	}
+}
+
+// Unhealthy reports whether a machine is currently excluded from routing.
+func (b *Broker) Unhealthy(machine string) bool {
+	return b.unhealthyUntil[machine] > b.K.Now()
+}
+
 // feasible returns schedulers that could ever run the job, in deterministic
 // (machine-ID) order.
 func (b *Broker) feasible(j *job.Job) []*sched.Scheduler {
 	var out []*sched.Scheduler
 	for _, s := range b.scheds {
-		if j.Cores <= s.M.BatchCores() && (j.QOS != job.QOSUrgent || s.M.UrgentCapable) {
+		if j.Cores <= s.M.BatchCores() && (j.QOS != job.QOSUrgent || s.M.UrgentCapable) &&
+			!b.Unhealthy(s.M.ID) {
 			out = append(out, s)
 		}
 	}
@@ -111,6 +140,11 @@ func (b *Broker) Submit(j *job.Job) {
 		j.State = job.StateFailed
 		return
 	}
+	b.route(j, b.selectFrom(cands, j))
+}
+
+// selectFrom applies the selection policy to a non-empty candidate list.
+func (b *Broker) selectFrom(cands []*sched.Scheduler, j *job.Job) *sched.Scheduler {
 	var pick *sched.Scheduler
 	switch b.policy {
 	case Random:
@@ -143,7 +177,26 @@ func (b *Broker) Submit(j *job.Job) {
 	default:
 		pick = cands[0]
 	}
-	b.route(j, pick)
+	return pick
+}
+
+// Failover re-places a job whose machine failed. The selection policy runs
+// over the currently healthy feasible machines, but unlike Submit the job
+// keeps its original attribution (no broker tag draw — failover is an
+// infrastructure action, not a user modality choice). Returns false when no
+// healthy machine fits; the caller decides what to do with the stranded job.
+func (b *Broker) Failover(j *job.Job) bool {
+	cands := b.feasible(j)
+	if len(cands) == 0 {
+		return false
+	}
+	pick := b.selectFrom(cands, j)
+	b.failovers++
+	if b.OnFailover != nil {
+		b.OnFailover(j, pick.M.ID)
+	}
+	pick.Submit(j)
+	return true
 }
 
 func (b *Broker) bestBy(cands []*sched.Scheduler, j *job.Job,

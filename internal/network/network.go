@@ -106,6 +106,13 @@ type Transfer struct {
 	Project string
 	JobID   int64 // staging transfers reference the job they serve; 0 if none
 
+	// Retries counts how many failed attempts preceded this one (set by
+	// Restart). Aborted marks a transfer killed by a network partition; an
+	// aborted transfer's done hook never fires — the resilience layer
+	// decides whether to Restart it.
+	Retries int
+	Aborted bool
+
 	remaining float64
 	rate      float64 // current fluid rate, bytes/s
 	done      func(*Transfer)
@@ -133,13 +140,21 @@ type Fabric struct {
 	// OnComplete when the last byte lands, before the caller's done hook.
 	OnStart    func(*Transfer)
 	OnComplete func(*Transfer)
-	active     map[int64]*Transfer
-	nextID     int64
+	// OnAbort, when non-nil, observes transfers killed by a partition
+	// (see AbortSite), after Aborted/EndedAt are set.
+	OnAbort func(*Transfer)
+	active  map[int64]*Transfer
+	nextID  int64
+	// linkScale maps a link to its current capacity factor during a fault
+	// window: (0,1) degraded, 0 partitioned. Absent means full capacity.
+	// Lazily allocated so fault-free fabrics carry no extra state.
+	linkScale map[*Link]float64
 	// recompute event bookkeeping: at most one pending completion event;
 	// when rates change the event is re-derived.
 	wake des.Timer
 	// Statistics.
 	completed     uint64
+	aborted       uint64
 	bytesMoved    float64
 	intraSite     uint64
 	lastAccumAt   des.Time
@@ -162,6 +177,9 @@ func (f *Fabric) Active() int { return len(f.active) }
 
 // Completed returns the number of finished transfers.
 func (f *Fabric) Completed() uint64 { return f.completed }
+
+// Aborted returns the number of transfers killed by partitions.
+func (f *Fabric) Aborted() uint64 { return f.aborted }
 
 // BytesMoved returns total bytes delivered across all finished and
 // in-flight transfers.
@@ -310,7 +328,7 @@ func (f *Fabric) reshare() {
 	for _, tr := range unfixed {
 		for _, l := range tr.links {
 			flowsOn[l] = append(flowsOn[l], tr)
-			remCap[l] = l.Bps
+			remCap[l] = l.Bps * f.scaleOf(l)
 		}
 	}
 	fixed := make(map[*Transfer]bool)
@@ -388,23 +406,118 @@ func (f *Fabric) advance() {
 		f.lastAdvance = now
 		return
 	}
+	// Integrate progress first, then fire completions in transfer-ID order:
+	// two flows finishing in the same advance must invoke their callbacks
+	// (which can submit jobs and consume random draws) in a deterministic
+	// order, not map order.
+	var finished []*Transfer
 	for id, tr := range f.active {
 		tr.remaining -= tr.rate * dt
 		f.bytesMoved += tr.rate * dt
 		// Sub-byte residues are float rounding, not data: complete them.
 		if tr.remaining < 0.5 {
 			delete(f.active, id)
-			tr.EndedAt = now
-			f.completed++
-			if f.OnComplete != nil {
-				f.OnComplete(tr)
-			}
-			if tr.done != nil {
-				tr.done(tr)
-			}
+			finished = append(finished, tr)
 		}
 	}
 	f.lastAdvance = now
+	sort.Slice(finished, func(i, j int) bool { return finished[i].ID < finished[j].ID })
+	for _, tr := range finished {
+		tr.EndedAt = now
+		f.completed++
+		if f.OnComplete != nil {
+			f.OnComplete(tr)
+		}
+		if tr.done != nil {
+			tr.done(tr)
+		}
+	}
+}
+
+// ---- Fault windows (injection interface) ----
+
+// scaleOf returns a link's current capacity factor.
+func (f *Fabric) scaleOf(l *Link) float64 {
+	if f.linkScale == nil {
+		return 1
+	}
+	if s, ok := f.linkScale[l]; ok {
+		return s
+	}
+	return 1
+}
+
+// SetSiteDegraded scales a site's access links (both directions) by factor:
+// 1 restores full capacity, (0,1) degrades, 0 partitions the site (flows
+// stall at zero rate until restored). In-flight progress is integrated
+// before the change so rates switch exactly at the current instant.
+func (f *Fabric) SetSiteDegraded(site string, factor float64) error {
+	out, ok := f.T.egress[site]
+	if !ok {
+		return fmt.Errorf("network: unknown site %s", site)
+	}
+	in := f.T.ingress[site]
+	f.advance()
+	if factor >= 1 {
+		if f.linkScale != nil {
+			delete(f.linkScale, out)
+			delete(f.linkScale, in)
+		}
+	} else {
+		if factor < 0 {
+			factor = 0
+		}
+		if f.linkScale == nil {
+			f.linkScale = make(map[*Link]float64)
+		}
+		f.linkScale[out] = factor
+		f.linkScale[in] = factor
+	}
+	f.reshare()
+	return nil
+}
+
+// AbortSite kills every in-flight inter-site transfer touching site,
+// returning the victims in ID order. Victims get Aborted/EndedAt set and
+// are reported through OnAbort; their done hooks do NOT fire — the caller
+// owns the decision to Restart. Transfers still in connection setup are
+// not yet active and simply stall once they join a partitioned link.
+func (f *Fabric) AbortSite(site string) []*Transfer {
+	f.advance()
+	var victims []*Transfer
+	for _, tr := range f.active {
+		if tr.Src == site || tr.Dst == site {
+			victims = append(victims, tr)
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].ID < victims[j].ID })
+	now := f.K.Now()
+	for _, tr := range victims {
+		delete(f.active, tr.ID)
+		tr.Aborted = true
+		tr.EndedAt = now
+		f.aborted++
+		if f.OnAbort != nil {
+			f.OnAbort(tr)
+		}
+	}
+	if len(victims) > 0 {
+		f.reshare()
+	}
+	return victims
+}
+
+// Restart re-submits an aborted transfer from byte zero with the same
+// endpoints, size, striping, and ownership, carrying the retry count
+// forward. The original's done hook transfers to the new attempt.
+func (f *Fabric) Restart(tr *Transfer) (*Transfer, error) {
+	nt, err := f.StartOwned(tr.Src, tr.Dst, tr.Bytes, tr.Streams,
+		Ownership{User: tr.User, Project: tr.Project, JobID: tr.JobID}, tr.done)
+	if err != nil {
+		return nil, err
+	}
+	nt.Retries = tr.Retries + 1
+	return nt, nil
 }
 
 // rearm schedules the wake event at the earliest projected completion.

@@ -50,6 +50,13 @@ func installJobSpans(rec obs.Recorder, k *des.Kernel, s *sched.Scheduler) {
 				obs.KV{Key: "cores", Value: e.Job.Cores},
 				obs.KV{Key: "mod", Value: string(e.Job.Truth.Modality)},
 				obs.KV{Key: "requeued", Value: true})
+		case sched.EventKilled:
+			// An unplanned kill only closes the run span: the fault layer
+			// routes the victim next, and that re-entry (Requeue here or a
+			// failover Submit elsewhere) emits the EventQueued that opens
+			// the new wait span — possibly on a different machine's track.
+			obs.End(rec, now, "job", "run", track, id,
+				obs.KV{Key: "state", Value: "killed"})
 		case sched.EventRejected:
 			obs.Instant(rec, now, "job", "reject", track,
 				obs.KV{Key: "job", Value: id},

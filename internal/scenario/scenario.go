@@ -13,6 +13,7 @@ import (
 	"github.com/tgsim/tgmod/internal/accounting"
 	"github.com/tgsim/tgmod/internal/alloc"
 	"github.com/tgsim/tgmod/internal/des"
+	"github.com/tgsim/tgmod/internal/faults"
 	"github.com/tgsim/tgmod/internal/gateway"
 	"github.com/tgsim/tgmod/internal/grid"
 	"github.com/tgsim/tgmod/internal/job"
@@ -151,6 +152,20 @@ type Config struct {
 	// run that exceeds it fails with des.ErrEventBacklog. Fleet workers use
 	// this to fail a runaway replication cleanly.
 	EventLimit int
+	// Faults configures the deterministic fault injector (WithFaults /
+	// WithFaultIntensity). The zero value disables it entirely: no injector
+	// is built, no fault streams are derived, and the run is byte-identical
+	// to a pre-fault build.
+	Faults faults.Config
+	// CheckpointRestart turns on checkpoint/restart at every machine:
+	// preempted and fault-killed jobs resume from their last completed
+	// checkpoint (losing only the tail past it) instead of from scratch.
+	CheckpointRestart bool
+	// CheckpointInterval is the checkpoint cadence (zero = 15 min default).
+	CheckpointInterval des.Time
+	// CheckpointOverhead, when positive, dilates each run by one overhead
+	// per completed checkpoint interval — the cost of writing checkpoints.
+	CheckpointOverhead des.Time
 	// Observers contribute observability wiring through the consolidated
 	// Attachment seam; register them with WithObserver.
 	Observers []Observer
@@ -231,6 +246,9 @@ type Result struct {
 	Sampler *obs.Sampler
 	// Profiler holds the kernel self-profile (nil unless Observe.Profile).
 	Profiler *obs.KernelProfiler
+	// Faults is the fault injector (nil unless Config.Faults.Enabled); its
+	// Stats() summarize every injected failure and resilience action.
+	Faults *faults.Injector
 }
 
 // Run builds and executes the simulation described by cfg.
@@ -337,6 +355,11 @@ func Run(cfg Config) (*Result, error) {
 	for _, m := range fed.Machines() {
 		m := m
 		s := sched.New(k, m, cfg.Policy)
+		if cfg.CheckpointRestart {
+			s.CheckpointRestart = true
+			s.CheckpointInterval = cfg.CheckpointInterval
+			s.CheckpointOverhead = cfg.CheckpointOverhead
+		}
 		scheds[m.ID] = s
 		if m.BatchCores() > largest {
 			largest = m.BatchCores()
@@ -434,6 +457,21 @@ func Run(cfg Config) (*Result, error) {
 			installGatewaySpans(rec, k, gw)
 		}
 		gateways[gc.ID] = gw
+	}
+
+	// Fault injector, assembled after every component it disrupts exists.
+	// Nothing is built on fault-free runs: the injector, its named random
+	// streams, and its kernel events only exist when Faults.Enabled.
+	var injector *faults.Injector
+	if cfg.Faults.Enabled {
+		injector = buildInjector(cfg, k, scheds, broker, fabric, gateways)
+		if rec != nil {
+			installFaultSpans(rec, k, injector)
+		}
+		if att.Registry != nil {
+			installFaultTelemetry(att.Registry, injector)
+		}
+		injector.Start()
 	}
 
 	// Live telemetry, installed after every seam handler exists so the
@@ -545,6 +583,7 @@ func Run(cfg Config) (*Result, error) {
 		Schedulers: scheds, Broker: broker, Gateways: gateways, Fabric: fabric,
 		Archives: archives, Population: pop, Finished: finished,
 		LargestCores: largest, Sampler: sampler, Profiler: profiler,
+		Faults: injector,
 	}, nil
 }
 

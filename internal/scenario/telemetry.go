@@ -109,7 +109,10 @@ func installTelemetry(reg *telemetry.Registry, k *des.Kernel, fed *grid.Federati
 				mc := modCounters[mod]
 				mc.jobs.Inc()
 				mc.nus.Add(m.NUs(e.Job.CoreSeconds()))
-			case sched.EventPreempted:
+			case sched.EventPreempted, sched.EventKilled:
+				// Unplanned kills ride the preempted series: the label set is
+				// resolved eagerly for every machine, so a separate "killed"
+				// label would change fault-free exposition.
 				preempted.Inc()
 			case sched.EventRejected:
 				rejected.Inc()
@@ -130,7 +133,14 @@ func installTelemetry(reg *telemetry.Registry, k *des.Kernel, fed *grid.Federati
 			}
 			if c := decisions[kind]; c != nil {
 				c.Inc()
+				return
 			}
+			// Kinds outside the pre-resolved set (the fault-layer probes:
+			// crash, node-fail, and their kills) register their series the
+			// first time they fire, so fault-free exposition is unchanged.
+			c := decC.With(m.ID, kind)
+			decisions[kind] = c
+			c.Inc()
 		}
 	}
 

@@ -105,6 +105,30 @@ func (p *profile) capTo(start, end des.Time, limit int) {
 	}
 }
 
+// deduct removes cores from [start, end) like subtract but floors each
+// segment at zero instead of panicking. It models partial node failures:
+// failed nodes may transiently overlap windows the profile already blanked
+// (an outage, another loss), and losing already-unavailable capacity is not
+// a planning bug.
+func (p *profile) deduct(start, end des.Time, cores int) {
+	if end <= start || cores <= 0 {
+		return
+	}
+	i := p.splitAt(start)
+	var j int
+	if end == des.Forever {
+		j = len(p.points)
+	} else {
+		j = p.splitAt(end)
+	}
+	for k := i; k < j; k++ {
+		p.points[k].free -= cores
+		if p.points[k].free < 0 {
+			p.points[k].free = 0
+		}
+	}
+}
+
 // segmentIndex returns the index of the segment containing t (the last
 // point with time ≤ t; 0 when t precedes the origin).
 func (p *profile) segmentIndex(t des.Time) int {

@@ -63,6 +63,12 @@ const (
 	EventFinished  // completed or killed at walltime
 	EventPreempted // urgent preemption; job was requeued
 	EventRejected  // impossible request (exceeds machine capacity)
+	// EventKilled is an unplanned kill (machine crash or node failure). The
+	// job is NOT requeued by the scheduler: the fault layer routes it next
+	// (Requeue here or metasched failover), and that re-entry emits its own
+	// EventQueued — which is what keeps the span stream well-formed (a kill
+	// only closes the run span; the next queue entry opens the wait span).
+	EventKilled
 )
 
 // String returns the event-kind name.
@@ -78,6 +84,8 @@ func (k EventKind) String() string {
 		return "preempted"
 	case EventRejected:
 		return "rejected"
+	case EventKilled:
+		return "killed"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}
@@ -100,11 +108,28 @@ const (
 	ProbeReservation   = "reservation"    // advance reservation activated
 	ProbeOutageBegin   = "outage-begin"   // maintenance window opened
 	ProbeOutageEnd     = "outage-end"     // maintenance window closed
+	ProbeCrash         = "crash"          // unplanned machine crash began
+	ProbeCrashKill     = "crash-kill"     // running job killed by a crash
+	ProbeNodeFail      = "node-fail"      // partial node failure began
+	ProbeNodeKill      = "node-kill"      // running job killed by node loss
+	ProbeNodeRestore   = "node-restore"   // failed nodes returned to service
 )
 
-// outage is a maintenance window: no batch work may execute during it.
+// outage is an unavailability window — planned maintenance or unplanned
+// crash repair — during which no batch work may execute. Overlapping
+// windows are merged into one canonical window (see addOutage); absorbed
+// windows stay reachable from their already-armed kernel events with
+// merged set, which turns those events into no-ops.
 type outage struct {
 	start, end des.Time
+	merged     bool
+}
+
+// capLoss is a partial-capacity window: cores batch cores are out of
+// service over [start, end) while the rest of the machine keeps running.
+type capLoss struct {
+	start, end des.Time
+	cores      int
 }
 
 // reservation is a committed block of cores over a future interval.
@@ -137,6 +162,10 @@ type Scheduler struct {
 	CheckpointRestart bool
 	// CheckpointInterval is the checkpoint cadence (default 15 min).
 	CheckpointInterval des.Time
+	// CheckpointOverhead, when positive (and CheckpointRestart is on), adds
+	// this much walltime per completed checkpoint interval to every run —
+	// the cost of writing the checkpoint. Zero models free checkpoints.
+	CheckpointOverhead des.Time
 	// FairShareHalfLife controls usage decay under the FairShare policy
 	// (default 7 days): a user's past consumption halves every half-life,
 	// so a usage burst stops penalizing its owner after a few periods.
@@ -147,11 +176,12 @@ type Scheduler struct {
 	freeBatch int
 	freeViz   int
 
-	queue    []*job.Job // normal-QOS batch queue, FIFO order
-	vizQueue []*job.Job // interactive partition queue
-	running  map[job.ID]*running
-	resvs    []*reservation
-	outages  []*outage
+	queue      []*job.Job // normal-QOS batch queue, FIFO order
+	vizQueue   []*job.Job // interactive partition queue
+	running    map[job.ID]*running
+	resvs      []*reservation
+	outages    []*outage
+	nodeLosses []*capLoss
 
 	listeners []Listener
 	// Probe, when non-nil, observes scheduler-internal decisions.
@@ -163,6 +193,10 @@ type Scheduler struct {
 	started      uint64
 	finished     uint64
 	preemptions  uint64
+	crashes      uint64
+	crashKills   uint64
+	nodeFails    uint64
+	nodeKills    uint64
 	// reschedule guard: a listener reacting to a lifecycle event may submit
 	// more work synchronously; instead of recursing, the outer reschedule
 	// loops again.
@@ -239,6 +273,15 @@ func (s *Scheduler) Finished() uint64 { return s.finished }
 
 // Preemptions returns the number of urgent preemptions performed.
 func (s *Scheduler) Preemptions() uint64 { return s.preemptions }
+
+// Crashes and CrashKills return unplanned-crash counters: crash events and
+// running jobs killed by them.
+func (s *Scheduler) Crashes() uint64    { return s.crashes }
+func (s *Scheduler) CrashKills() uint64 { return s.crashKills }
+
+// NodeFailures and NodeKills return partial node-failure counters.
+func (s *Scheduler) NodeFailures() uint64 { return s.nodeFails }
+func (s *Scheduler) NodeKills() uint64    { return s.nodeKills }
 
 // Utilization returns the time-averaged fraction of batch cores busy since
 // simulation start.
@@ -337,6 +380,18 @@ func (s *Scheduler) buildProfile() *profile {
 			p.subtract(start, rv.end, rv.cores)
 		}
 	}
+	// Partial node failures remove cores from the free pool. deduct (not
+	// capTo) because lost cores stack with occupancy: a machine running 78
+	// of 128 cores that loses 50 has zero schedulable headroom, not 50.
+	for _, l := range s.nodeLosses {
+		start := l.start
+		if start < now {
+			start = now
+		}
+		if l.end > start {
+			p.deduct(start, l.end, l.cores)
+		}
+	}
 	// Maintenance outages blank the machine regardless of other state.
 	for _, o := range s.outages {
 		start := o.start
@@ -363,25 +418,79 @@ func (s *Scheduler) ScheduleOutage(start, end des.Time) error {
 	if start < now || end <= start {
 		return fmt.Errorf("sched %s: invalid outage window [%v,%v)", s.M.ID, start, end)
 	}
+	s.addOutage(start, end)
+	s.reschedule()
+	return nil
+}
+
+// addOutage records an unavailability window and arms its boundary events.
+// Overlapping windows merge into one canonical window covering the union —
+// a crash landing inside an already-scheduled maintenance window must not
+// re-release cores or fire a second begin/end pair. Absorbed windows are
+// removed from the active list and flagged merged so their already-armed
+// kernel events no-op. Abutting windows (one's end equal to the other's
+// start) stay separate: there is an instant between them where the machine
+// is up, and each pair of boundary events is a real transition.
+func (s *Scheduler) addOutage(start, end des.Time) *outage {
+	// An existing live window that already covers the request absorbs it:
+	// no new state, no new events.
+	for _, o := range s.outages {
+		if o.start <= start && end <= o.end {
+			return o
+		}
+	}
+	// Otherwise take the union with every strictly overlapping window.
+	for {
+		absorbed := false
+		for i, o := range s.outages {
+			if start < o.end && o.start < end {
+				if o.start < start {
+					start = o.start
+				}
+				if o.end > end {
+					end = o.end
+				}
+				o.merged = true
+				s.outages = append(s.outages[:i], s.outages[i+1:]...)
+				absorbed = true
+				break
+			}
+		}
+		if !absorbed {
+			break
+		}
+	}
 	o := &outage{start: start, end: end}
 	s.outages = append(s.outages, o)
 	s.stateVersion++
-	s.K.AtNamed(start, "outage-start", func(*des.Kernel) {
-		s.probe(ProbeOutageBegin, nil)
-		// Preempt stragglers (only possible when the outage was announced
-		// with less lead time than running walltimes).
-		var victims []*running
-		for _, r := range s.running {
-			if r.j.QOS != job.QOSInteractive {
-				victims = append(victims, r)
+	now := s.K.Now()
+	if start >= now {
+		s.K.AtNamed(start, "outage-start", func(*des.Kernel) {
+			if o.merged {
+				return
 			}
-		}
-		sort.Slice(victims, func(a, b int) bool { return victims[a].j.ID < victims[b].j.ID })
-		for _, v := range victims {
-			s.preempt(v)
-		}
-	})
+			s.probe(ProbeOutageBegin, nil)
+			// Preempt stragglers (only possible when the outage was
+			// announced with less lead time than running walltimes).
+			var victims []*running
+			for _, r := range s.running {
+				if r.j.QOS != job.QOSInteractive {
+					victims = append(victims, r)
+				}
+			}
+			sort.Slice(victims, func(a, b int) bool { return victims[a].j.ID < victims[b].j.ID })
+			for _, v := range victims {
+				s.preempt(v)
+			}
+		})
+	}
+	// When start < now the window extends one already in progress (a crash
+	// merged into an active maintenance window): the begin transition
+	// already fired, only the close moves.
 	s.K.AtNamed(end, "outage-end", func(*des.Kernel) {
+		if o.merged {
+			return
+		}
 		s.probe(ProbeOutageEnd, nil)
 		for i, oo := range s.outages {
 			if oo == o {
@@ -391,8 +500,7 @@ func (s *Scheduler) ScheduleOutage(start, end des.Time) error {
 		}
 		s.reschedule()
 	})
-	s.reschedule()
-	return nil
+	return o
 }
 
 // reschedule runs the active policy over the batch queue.
@@ -588,6 +696,14 @@ func (s *Scheduler) startBatch(j *job.Job, fromResID string) {
 	j.State = job.StateRunning
 	j.StartTime = now
 	dur := j.RunTime
+	if s.CheckpointRestart && s.CheckpointOverhead > 0 {
+		// Each completed checkpoint interval costs its write time.
+		interval := s.CheckpointInterval
+		if interval <= 0 {
+			interval = 15 * des.Minute
+		}
+		dur += des.Time(int64(dur/interval)) * s.CheckpointOverhead
+	}
 	killed := false
 	if dur > j.ReqWalltime {
 		dur = j.ReqWalltime
@@ -679,25 +795,7 @@ func (s *Scheduler) preempt(r *running) {
 	s.accumulate()
 	s.freeBatch += j.Cores
 	if s.CheckpointRestart {
-		interval := s.CheckpointInterval
-		if interval <= 0 {
-			interval = 15 * des.Minute
-		}
-		ran := s.K.Now() - j.StartTime
-		checkpointed := des.Time(int64(ran/interval)) * interval
-		j.RunTime -= checkpointed
-		if j.RunTime < 1 {
-			j.RunTime = 1
-		}
-		// The walltime request shrinks with the remaining work, keeping
-		// the request honest for backfill planning.
-		if j.ReqWalltime > j.RunTime {
-			remaining := j.ReqWalltime - checkpointed
-			if remaining < j.RunTime {
-				remaining = j.RunTime
-			}
-			j.ReqWalltime = remaining
-		}
+		s.checkpointCredit(j)
 	}
 	j.State = job.StatePreempted
 	j.Preemptions++
@@ -708,6 +806,183 @@ func (s *Scheduler) preempt(r *running) {
 	// accumulated wait is reflected in metrics.
 	j.State = job.StateQueued
 	s.queue = append([]*job.Job{j}, s.queue...)
+}
+
+// checkpointCredit credits completed checkpoint intervals against a stopped
+// job's remaining work and walltime request, returning the amount of run
+// time credited. With CheckpointOverhead, each completed interval cost
+// extra walltime that yields no credit.
+func (s *Scheduler) checkpointCredit(j *job.Job) des.Time {
+	interval := s.CheckpointInterval
+	if interval <= 0 {
+		interval = 15 * des.Minute
+	}
+	ran := s.K.Now() - j.StartTime
+	completed := int64(ran / (interval + s.CheckpointOverhead))
+	checkpointed := des.Time(completed) * interval
+	j.RunTime -= checkpointed
+	if j.RunTime < 1 {
+		j.RunTime = 1
+	}
+	// The walltime request shrinks with the remaining work, keeping
+	// the request honest for backfill planning.
+	if j.ReqWalltime > j.RunTime {
+		remaining := j.ReqWalltime - checkpointed
+		if remaining < j.RunTime {
+			remaining = j.RunTime
+		}
+		j.ReqWalltime = remaining
+	}
+	return checkpointed
+}
+
+// ---- Unplanned failures (fault-injection interface) ----
+
+// killRunning stops a running batch job because its hardware failed. Unlike
+// preempt it does not requeue — the caller routes the victim (failover to
+// another machine, or Requeue here) — and it charges the work lost since
+// the last checkpoint (or the whole run) to the job's wasted-work account.
+func (s *Scheduler) killRunning(r *running, kind string) {
+	j := r.j
+	s.K.Cancel(r.endTimer)
+	delete(s.running, j.ID)
+	s.accumulate()
+	s.freeBatch += j.Cores
+	ran := s.K.Now() - j.StartTime
+	var checkpointed des.Time
+	if s.CheckpointRestart {
+		checkpointed = s.checkpointCredit(j)
+	}
+	if lost := float64(ran-checkpointed) * float64(j.Cores); lost > 0 {
+		j.WastedCoreSeconds += lost
+	}
+	j.State = job.StatePreempted
+	j.Preemptions++
+	s.preemptions++
+	s.probe(kind, j)
+	s.emit(EventKilled, j)
+}
+
+// Crash takes the whole machine down until the given repair time: every
+// running batch job (including reservation claims; the viz partition rides
+// out crashes like it does maintenance) is killed with its lost work
+// charged, and an unavailability window blocks new starts until repair.
+// The window merges with any overlapping maintenance window rather than
+// double-releasing cores. Victims are returned in job-ID order, in state
+// Preempted, for the caller to re-route. until must be in the future;
+// past-or-now values are clamped to an instant after now.
+func (s *Scheduler) Crash(until des.Time) []*job.Job {
+	now := s.K.Now()
+	if until <= now {
+		until = now + 1e-9
+	}
+	s.crashes++
+	s.probe(ProbeCrash, nil)
+	var victims []*running
+	for _, r := range s.running {
+		if r.j.QOS != job.QOSInteractive {
+			victims = append(victims, r)
+		}
+	}
+	sort.Slice(victims, func(a, b int) bool { return victims[a].j.ID < victims[b].j.ID })
+	out := make([]*job.Job, 0, len(victims))
+	for _, v := range victims {
+		s.killRunning(v, ProbeCrashKill)
+		s.crashKills++
+		out = append(out, v.j)
+	}
+	s.addOutage(now, until)
+	s.reschedule()
+	return out
+}
+
+// Requeue puts a crash or node-failure victim back at the head of this
+// machine's batch queue, preserving its original submit time, and kicks the
+// scheduler. The complement of metasched failover: what stays, stays here.
+func (s *Scheduler) Requeue(j *job.Job) {
+	j.State = job.StateQueued
+	s.queue = append([]*job.Job{j}, s.queue...)
+	s.stateVersion++
+	s.emit(EventQueued, j)
+	s.reschedule()
+}
+
+// FailNodes takes cores batch cores out of service until the given time.
+// The machine keeps running; if the surviving capacity cannot hold the
+// current load, the most recently started batch jobs are killed (least lost
+// work) and requeued locally. Returns the victims (already requeued), in
+// job-ID order.
+func (s *Scheduler) FailNodes(cores int, until des.Time) []*job.Job {
+	now := s.K.Now()
+	if cores <= 0 || until <= now {
+		return nil
+	}
+	if cores > s.M.BatchCores() {
+		cores = s.M.BatchCores()
+	}
+	s.nodeFails++
+	s.probe(ProbeNodeFail, nil)
+	loss := &capLoss{start: now, end: until, cores: cores}
+	s.nodeLosses = append(s.nodeLosses, loss)
+	s.stateVersion++
+	s.K.AtNamed(until, "nodes-restore", func(*des.Kernel) {
+		for i, l := range s.nodeLosses {
+			if l == loss {
+				s.nodeLosses = append(s.nodeLosses[:i], s.nodeLosses[i+1:]...)
+				break
+			}
+		}
+		s.probe(ProbeNodeRestore, nil)
+		s.reschedule()
+	})
+	// Survivors must fit the remaining capacity: kill most recently started
+	// first, deterministic tie-break by job ID (same order startUrgent uses).
+	totalLoss := 0
+	for _, l := range s.nodeLosses {
+		if l.end > now {
+			totalLoss += l.cores
+		}
+	}
+	if totalLoss > s.M.BatchCores() {
+		totalLoss = s.M.BatchCores()
+	}
+	surviving := s.M.BatchCores() - totalLoss
+	busy := s.M.BatchCores() - s.freeBatch
+	var victims []*job.Job
+	if busy > surviving {
+		var cands []*running
+		for _, r := range s.running {
+			if r.j.QOS != job.QOSInteractive {
+				cands = append(cands, r)
+			}
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].j.StartTime != cands[b].j.StartTime {
+				return cands[a].j.StartTime > cands[b].j.StartTime
+			}
+			return cands[a].j.ID > cands[b].j.ID
+		})
+		for _, v := range cands {
+			if busy <= surviving {
+				break
+			}
+			s.killRunning(v, ProbeNodeKill)
+			s.nodeKills++
+			busy -= v.j.Cores
+			victims = append(victims, v.j)
+		}
+		sort.Slice(victims, func(a, b int) bool { return victims[a].ID < victims[b].ID })
+		// Prepend in reverse so the lowest job ID ends up at the head.
+		for i := len(victims) - 1; i >= 0; i-- {
+			victims[i].State = job.StateQueued
+			s.queue = append([]*job.Job{victims[i]}, s.queue...)
+		}
+		for _, v := range victims {
+			s.emit(EventQueued, v)
+		}
+	}
+	s.reschedule()
+	return victims
 }
 
 // ---- Interactive / visualization partition ----
