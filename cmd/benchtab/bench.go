@@ -10,13 +10,18 @@ import (
 	"time"
 
 	"github.com/tgsim/tgmod/internal/experiments"
+	"github.com/tgsim/tgmod/internal/fleet"
 	"github.com/tgsim/tgmod/internal/scenario"
 )
 
 // benchSchemaVersion identifies the BENCH_*.json layout; bump it on any
 // field change so history tooling can tell records apart.
 // v2 added the fleet section (replication-fleet scaling figures).
-const benchSchemaVersion = 2
+// v3 measures the fleet section directly: a dedicated sequential run and
+// a dedicated workers=GOMAXPROCS run, each with its real wall, instead of
+// reusing the FL sweep's endpoints (which collapse to one workers=1 row
+// on a single-core host and recorded speedup 1.0 by construction).
+const benchSchemaVersion = 3
 
 // BenchRecord is one point on the performance trajectory: what was built
 // (git describe), how it was run (seed, scale, host), how fast the kernel
@@ -47,13 +52,14 @@ type BenchKernel struct {
 	JobsFinished int     `json:"jobs_finished"`
 }
 
-// BenchFleet holds replication-fleet scaling figures from the FL
-// experiment: the same Reps-replication fleet timed sequentially and at
-// the widest worker count, with the wall-clock speedup between them and
-// the parallel fleet's aggregate event throughput. Speedup near the
-// worker count means replications scale linearly (no shared state, no
-// contention); on a single-core host the two walls coincide and the
-// speedup is ~1 by construction.
+// BenchFleet holds replication-fleet scaling figures: the same
+// Reps-replication fleet timed twice — once sequentially (workers=1) and
+// once at the host's full width (workers=GOMAXPROCS) — with the
+// wall-clock speedup between the two real runs and the parallel fleet's
+// aggregate event throughput. Speedup near the worker count means
+// replications scale linearly (no shared state, no contention); on a
+// single-core host both runs are width 1 and the speedup honestly
+// measures ~1.
 type BenchFleet struct {
 	Reps           int     `json:"reps"`
 	Workers        int     `json:"workers"`
@@ -63,25 +69,47 @@ type BenchFleet struct {
 	EventsPerSec   float64 `json:"events_per_sec_aggregate"`
 }
 
-// measureFleet runs the FL scaling experiment and condenses it to the
-// sequential-vs-widest comparison the record tracks.
+// measureFleet times the bench fleet sequentially and at workers=
+// GOMAXPROCS. Both walls come from dedicated runs (the FL experiment's
+// sweep table is rendered separately and shares no measurements).
 func measureFleet(seed uint64, sc experiments.Scale) (*BenchFleet, error) {
-	_, rows, err := experiments.FLFleetScaling(seed, sc)
+	reps := 8
+	if sc == experiments.Full {
+		reps = 16
+	}
+	runAt := func(workers int) (*fleet.Result, error) {
+		res, err := fleet.Run(fleet.Spec{
+			Reps:     reps,
+			Parallel: workers,
+			BaseSeed: seed,
+			Build: func(s uint64) scenario.Config {
+				return scenario.New(s, experiments.StandardOptions(sc)...)
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fleet (workers=%d): %w", workers, err)
+		}
+		return res, nil
+	}
+	seq, err := runAt(1)
 	if err != nil {
 		return nil, err
 	}
-	if len(rows) == 0 {
-		return nil, nil
+	par, err := runAt(runtime.GOMAXPROCS(0))
+	if err != nil {
+		return nil, err
 	}
-	first, last := rows[0], rows[len(rows)-1]
-	return &BenchFleet{
-		Reps:           last.Reps,
-		Workers:        last.Workers,
-		WallSeqSeconds: first.Wall,
-		WallParSeconds: last.Wall,
-		Speedup:        last.Speedup,
-		EventsPerSec:   last.EventsSec,
-	}, nil
+	bf := &BenchFleet{
+		Reps:           reps,
+		Workers:        par.Workers,
+		WallSeqSeconds: seq.Wall,
+		WallParSeconds: par.Wall,
+		EventsPerSec:   par.EventsPerSec(),
+	}
+	if par.Wall > 0 {
+		bf.Speedup = seq.Wall / par.Wall
+	}
+	return bf, nil
 }
 
 // measureKernel times the standard scenario and extracts kernel stats.

@@ -41,4 +41,21 @@ func TestWriteBenchRecord(t *testing.T) {
 	if rec.GitDescribe == "" || rec.GoVersion == "" || rec.GeneratedAt == "" {
 		t.Errorf("provenance fields empty: %+v", rec)
 	}
+	// The fleet section records two real runs: both walls measured, the
+	// parallel one at the host's width, never a copied sequential wall.
+	if rec.Fleet == nil {
+		t.Fatal("fleet section missing")
+	}
+	if rec.Fleet.WallSeqSeconds <= 0 || rec.Fleet.WallParSeconds <= 0 {
+		t.Errorf("fleet walls not measured: %+v", rec.Fleet)
+	}
+	if rec.Fleet.WallSeqSeconds == rec.Fleet.WallParSeconds {
+		t.Errorf("seq and par walls identical (%.9fs): one run recorded twice", rec.Fleet.WallSeqSeconds)
+	}
+	if rec.Fleet.Speedup <= 0 {
+		t.Errorf("fleet speedup not computed: %+v", rec.Fleet)
+	}
+	if rec.Fleet.Workers < 1 || rec.Fleet.Reps < 8 {
+		t.Errorf("fleet shape: %+v", rec.Fleet)
+	}
 }

@@ -89,6 +89,10 @@ func run() error {
 			return t, err
 		}},
 		{"FT", func() (fmt.Stringer, error) { return experiments.FTChaos(*seed, sc) }},
+		{"DR", func() (fmt.Stringer, error) {
+			t, _, err := experiments.DRDrift(*seed, sc)
+			return t, err
+		}},
 	}
 	wall := map[string]float64{}
 	for _, g := range gens {

@@ -7,7 +7,11 @@
 //
 // Usage:
 //
-//	tgdiff [-abs N] [-rel N] BASELINE_DIR CANDIDATE_DIR
+//	tgdiff [-abs N] [-rel N] [-files metrics,obs,acct] BASELINE_DIR CANDIDATE_DIR
+//
+// -files restricts the comparison to the named run-dir files, so two runs
+// exported with different observability (e.g. a live run and its replay,
+// which has no metrics.om) can still be diffed over their common files.
 //
 // Exit status: 0 when the diff is empty, 1 when it reports regressions,
 // 2 on usage or load errors.
@@ -17,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/tgsim/tgmod/internal/regress"
 )
@@ -29,8 +34,9 @@ func run() int {
 	fs := flag.NewFlagSet("tgdiff", flag.ExitOnError)
 	absTol := fs.Float64("abs", 0, "absolute tolerance per series")
 	relTol := fs.Float64("rel", 0, "relative tolerance per series (fraction of the larger magnitude)")
+	filesFlag := fs.String("files", "", "comma-separated run-dir files to compare: metrics, obs, acct (default: all)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: tgdiff [-abs N] [-rel N] BASELINE_DIR CANDIDATE_DIR")
+		fmt.Fprintln(os.Stderr, "usage: tgdiff [-abs N] [-rel N] [-files metrics,obs,acct] BASELINE_DIR CANDIDATE_DIR")
 		fs.PrintDefaults()
 	}
 	_ = fs.Parse(os.Args[1:])
@@ -38,9 +44,26 @@ func run() int {
 		fs.Usage()
 		return 2
 	}
+	want := []string{regress.MetricsFile, regress.ObsFile, regress.AcctFile}
+	if *filesFlag != "" {
+		want = want[:0]
+		for _, f := range strings.Split(*filesFlag, ",") {
+			switch strings.TrimSpace(f) {
+			case "metrics":
+				want = append(want, regress.MetricsFile)
+			case "obs":
+				want = append(want, regress.ObsFile)
+			case "acct":
+				want = append(want, regress.AcctFile)
+			default:
+				fmt.Fprintf(os.Stderr, "tgdiff: unknown -files entry %q (want metrics, obs, or acct)\n", f)
+				return 2
+			}
+		}
+	}
 
 	series := func(dir string) (map[string]float64, error) {
-		r, err := regress.LoadRunDir(dir)
+		r, err := regress.LoadRunDirSelect(dir, want...)
 		if err != nil {
 			return nil, err
 		}

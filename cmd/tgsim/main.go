@@ -13,6 +13,8 @@
 //	      [-obs-sample-hours H] [-obs-max-events N] [-strict-obs] [-profile]
 //	      [-slo] [-analysis] [-export DIR]
 //	      [-http :PORT] [-http-hold] [-progress]
+//	      [-stream] [-stream-buf N] [-modality-out FILE]
+//	      [-replay DIR] [-replay-speed X]
 //	      [-reps N] [-parallel P]
 //
 // With -reps N > 1 tgsim runs a replication fleet: N independent
@@ -20,6 +22,13 @@
 // mean ± 95% CI tables instead of single-run point estimates. Per-run
 // observability flags are ignored in fleet mode; -export writes the
 // merged fleet metrics.
+//
+// With -stream the streaming modality observatory rides the run live:
+// every accounting flush feeds an online classifier whose windowed usage
+// and drift views the console serves at /modalities and /drift. With
+// -replay DIR the same pipeline replays an exported run directory
+// instead of simulating, and reproduces the original run's post-run
+// modality report byte-identically (compare with -modality-out).
 package main
 
 import (
@@ -46,6 +55,7 @@ import (
 	"github.com/tgsim/tgmod/internal/report"
 	"github.com/tgsim/tgmod/internal/scenario"
 	"github.com/tgsim/tgmod/internal/slo"
+	"github.com/tgsim/tgmod/internal/stream"
 	"github.com/tgsim/tgmod/internal/telemetry"
 )
 
@@ -86,7 +96,17 @@ func run() error {
 	faultsX := flag.Float64("faults", 0, "enable deterministic fault injection at this intensity (1 = nominal MTBFs, 2 = twice as often; 0 = off)")
 	mtbfDays := flag.Float64("mtbf", 0, "override the machine crash MTBF in days (with -faults; 0 keeps the default)")
 	checkpointMin := flag.Float64("checkpoint", 0, "checkpoint/restart every N minutes: killed and preempted jobs resume from the last checkpoint (0 = off)")
+	streamFlag := flag.Bool("stream", false, "attach the streaming modality observatory: live windowed usage, online classification, and drift served at /modalities and /drift")
+	streamBuf := flag.Int("stream-buf", 0, "cap the streaming ingest inbox at N records (0 = unbounded); overflow is counted, dropped, and fails -strict-obs")
+	modalityOut := flag.String("modality-out", "", "write the usage-by-modality table to this file (the replay-equivalence comparison anchor)")
+	replayDir := flag.String("replay", "", "replay an exported run directory through the streaming pipeline instead of simulating")
+	replaySpeed := flag.Float64("replay-speed", 0, "replay pacing in virtual seconds per wall second (0 = as fast as possible)")
 	flag.Parse()
+
+	if *replayDir != "" {
+		return runReplayMode(*replayDir, *replaySpeed, *streamBuf,
+			*exportDir, *modalityOut, *csvDir, *quiet)
+	}
 
 	// buildCfg rebuilds the scenario for a seed. Single runs call it once;
 	// fleet mode calls it once per replication so every replication gets
@@ -194,6 +214,20 @@ func run() error {
 		reg = telemetry.New()
 		cfg.Observe.Registry = reg
 	}
+	// The streaming modality observatory: a processor tapped into the
+	// accounting-flush seam, classifying records online and serving
+	// windowed usage and drift through the console.
+	var proc *stream.Processor
+	if *streamFlag {
+		largest, err := largestBatchCores(cfg)
+		if err != nil {
+			return err
+		}
+		proc = stream.New(stream.Config{
+			LargestCores: largest, InboxCap: *streamBuf, Registry: reg,
+		})
+		cfg.Observers = append(cfg.Observers, stream.Tap(proc))
+	}
 	if *httpAddr != "" {
 		console = telemetry.NewConsole()
 		addr, err := console.Serve(*httpAddr)
@@ -209,6 +243,10 @@ func run() error {
 				var buf bytes.Buffer
 				if err := reg.WriteOpenMetrics(&buf); err == nil {
 					console.Update(s, buf.Bytes())
+				}
+				if proc != nil {
+					console.PublishJSON("/modalities", proc.ModalitiesJSON())
+					console.PublishJSON("/drift", proc.DriftJSON())
 				}
 			}
 			if showProgress {
@@ -241,8 +279,25 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if proc != nil {
+		// Close the stream at the true end of the run so trailing windows
+		// expire exactly as far as the simulation reached, then publish the
+		// final payloads (the last snapshot may predate the final flush).
+		proc.Advance(cfg.Horizon + cfg.DrainTime)
+		if console != nil {
+			console.PublishJSON("/modalities", proc.ModalitiesJSON())
+			console.PublishJSON("/drift", proc.DriftJSON())
+		}
+	}
 	cl := core.NewClassifier(core.Config{LargestCores: res.LargestCores})
 	results := cl.Classify(res.Central)
+	rep := core.BuildReport(res.Central, results)
+	mod := modalityTable(rep)
+	if *modalityOut != "" {
+		if err := writeTo(*modalityOut, mod.WriteText); err != nil {
+			return err
+		}
+	}
 
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
@@ -277,6 +332,9 @@ func run() error {
 		}
 		if *strictObs && spans != nil && spans.Dropped() > 0 {
 			return fmt.Errorf("-strict-obs: span buffer dropped %d events", spans.Dropped())
+		}
+		if *strictObs && proc != nil && proc.Dropped() > 0 {
+			return fmt.Errorf("-strict-obs: stream inbox dropped %d records (raise -stream-buf or use 0 for unbounded)", proc.Dropped())
 		}
 		return nil
 	}
@@ -316,10 +374,15 @@ func run() error {
 		}
 	}
 	if *exportDir != "" {
-		if err := regress.WriteRunDir(*exportDir, reg, spans, res.Central); err != nil {
+		man := &regress.Manifest{
+			Seed:         cfg.Seed,
+			LargestCores: res.LargestCores,
+			EndTimeS:     float64(cfg.Horizon + cfg.DrainTime),
+		}
+		if err := regress.WriteRunDir(*exportDir, reg, spans, res.Central, man); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "tgsim: run exported to %s (diff runs with tgdiff)\n", *exportDir)
+		fmt.Fprintf(os.Stderr, "tgsim: run exported to %s (diff runs with tgdiff, replay with -replay)\n", *exportDir)
 	}
 
 	var saveCSV func(name string, t *report.Table) error
@@ -370,13 +433,6 @@ func run() error {
 	fmt.Println()
 
 	// Modality breakdown (the contribution).
-	rep := core.BuildReport(res.Central, results)
-	mod := report.NewTable("Usage by measured modality",
-		"modality", "jobs", "NUs", "NU share", "accounts", "end users")
-	for _, row := range rep.Rows {
-		mod.AddRowf(string(row.Modality), row.Jobs, row.NUs,
-			report.Percent(row.NUs/rep.TotalNUs), row.AccountUsers, row.EndUsers)
-	}
 	if err := mod.WriteText(os.Stdout); err != nil {
 		return err
 	}
@@ -384,6 +440,15 @@ func run() error {
 		return err
 	}
 	fmt.Println()
+
+	// Streaming observatory summary (only on -stream runs).
+	if proc != nil {
+		dr := proc.Drift()
+		snap := proc.Snap()
+		fmt.Printf("Stream: %d records ingested, %d dropped (inbox high water %d); "+
+			"online drift %.3f over %d scored jobs\n\n",
+			snap.Ingested, snap.Dropped, snap.HighWater, dr.Rate, dr.Events)
+	}
 
 	// Validation against ground truth.
 	conf := core.Validate(res.Central, results)
@@ -524,7 +589,7 @@ func runFleetMode(reps, parallel int, baseSeed uint64,
 	}
 
 	if exportDir != "" {
-		if werr := regress.WriteRunDir(exportDir, res.Merged, nil, nil); werr != nil {
+		if werr := regress.WriteRunDir(exportDir, res.Merged, nil, nil, nil); werr != nil {
 			return werr
 		}
 		fmt.Fprintf(os.Stderr, "tgsim: merged fleet metrics exported to %s\n", exportDir)
@@ -562,6 +627,39 @@ func runFleetMode(reps, parallel int, baseSeed uint64,
 		}
 	}
 	return err
+}
+
+// modalityTable renders a core modality report as the usage-by-modality
+// table. It is the single rendering path shared by live runs, -modality-out,
+// and -replay, so replay equivalence is checked over identical bytes.
+func modalityTable(rep *core.Report) *report.Table {
+	mod := report.NewTable("Usage by measured modality",
+		"modality", "jobs", "NUs", "NU share", "accounts", "end users")
+	for _, row := range rep.Rows {
+		mod.AddRowf(string(row.Modality), row.Jobs, row.NUs,
+			report.Percent(row.NUs/rep.TotalNUs), row.AccountUsers, row.EndUsers)
+	}
+	return mod
+}
+
+// largestBatchCores resolves the classifier's capability threshold (the
+// biggest machine's batch cores) from the scenario config before the run
+// starts, mirroring what scenario.Run reports afterwards.
+func largestBatchCores(cfg scenario.Config) (int, error) {
+	fed := cfg.Federation
+	if fed == nil {
+		var err error
+		if fed, err = scenario.TG9(); err != nil {
+			return 0, err
+		}
+	}
+	largest := 0
+	for _, m := range fed.Machines() {
+		if m.BatchCores() > largest {
+			largest = m.BatchCores()
+		}
+	}
+	return largest, nil
 }
 
 // printProfile renders the kernel self-profile when one was collected.

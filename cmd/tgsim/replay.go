@@ -1,0 +1,143 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/tgsim/tgmod/internal/core"
+	"github.com/tgsim/tgmod/internal/des"
+	"github.com/tgsim/tgmod/internal/regress"
+	"github.com/tgsim/tgmod/internal/report"
+	"github.com/tgsim/tgmod/internal/stream"
+	"github.com/tgsim/tgmod/internal/telemetry"
+)
+
+// runReplayMode implements tgsim -replay DIR: the exported run directory
+// is streamed through the modality observatory in virtual-time order
+// (optionally paced by -replay-speed) and the post-run modality report is
+// rebuilt from the imported accounting trace.
+//
+// Replay equivalence: acct.jsonl preserves the live run's central
+// ingestion order exactly (Export/Import round-trip), and the batch
+// classifier plus report builder are the same code the live run used, so
+// the replayed modality table is byte-identical to the live one. Compare
+// the two -modality-out files, or tgdiff the two -export directories.
+func runReplayMode(dir string, speed float64, streamBuf int,
+	exportDir, modalityOut, csvDir string, quiet bool) error {
+	run, err := regress.LoadRunDir(dir)
+	if err != nil {
+		return err
+	}
+	if run.Central == nil {
+		return fmt.Errorf("-replay: %s has no %s (export the run with -export)", dir, regress.AcctFile)
+	}
+
+	largest := 0
+	var endTime des.Time
+	if run.Manifest != nil {
+		largest = run.Manifest.LargestCores
+		endTime = des.Time(run.Manifest.EndTimeS)
+	}
+	if largest == 0 {
+		// Pre-manifest export: fall back to the biggest job seen, the same
+		// inference a post-hoc analysis of a real accounting dump would use.
+		for _, j := range run.Central.Jobs() {
+			if j.Cores > largest {
+				largest = j.Cores
+			}
+		}
+	}
+
+	reg := telemetry.New()
+	proc := stream.New(stream.Config{
+		LargestCores: largest, InboxCap: streamBuf, Registry: reg,
+	})
+	rp := &stream.Replay{Run: run, Speed: speed, EndTime: endTime}
+	records, spans, err := rp.Feed(proc)
+	if err != nil {
+		return err
+	}
+
+	// The byte-identical report path: classify the imported central
+	// directly, exactly as the live run classified its own.
+	cl := core.NewClassifier(core.Config{LargestCores: largest})
+	results := cl.Classify(run.Central)
+	rep := core.BuildReport(run.Central, results)
+	mod := modalityTable(rep)
+	if modalityOut != "" {
+		if err := writeTo(modalityOut, mod.WriteText); err != nil {
+			return err
+		}
+	}
+
+	if exportDir != "" {
+		// Re-export what replay can reproduce exactly: the accounting trace
+		// and obs events round-trip byte-identically; metrics.om does not
+		// (a replay has no kernel), so it is deliberately absent.
+		var man *regress.Manifest
+		if run.Manifest != nil {
+			m := *run.Manifest
+			man = &m
+		}
+		if err := regress.WriteRunDir(exportDir, nil,
+			stream.RebuildObsBuffer(run.Events), run.Central, man); err != nil {
+			return err
+		}
+		if err := writeTo(filepath.Join(exportDir, "modalities.json"), func(w io.Writer) error {
+			_, err := w.Write(proc.ModalitiesJSON())
+			return err
+		}); err != nil {
+			return err
+		}
+		if err := writeTo(filepath.Join(exportDir, "drift.json"), func(w io.Writer) error {
+			_, err := w.Write(proc.DriftJSON())
+			return err
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "tgsim: replay exported to %s\n", exportDir)
+	}
+
+	snap := proc.Snap()
+	if quiet {
+		fmt.Printf("replayed records=%d obs=%d ingested=%d dropped=%d jobs=%d NUs=%.0f\n",
+			records, spans, snap.Ingested, snap.Dropped,
+			len(run.Central.Jobs()), run.Central.TotalNUs())
+		return nil
+	}
+
+	fmt.Printf("tgsim: replay of %s: %d records + %d obs events through the stream "+
+		"(%d ingested, %d dropped)\n\n", dir, records, spans, snap.Ingested, snap.Dropped)
+
+	if err := mod.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+
+	dr := proc.Drift()
+	drt := report.NewTable("Classifier drift vs trailing ground truth",
+		"window", "scored", "disagree", "drift", "peak")
+	for _, w := range dr.Windows {
+		drt.AddRowf(w.Window, w.Events, w.Disagree,
+			fmt.Sprintf("%.3f", w.Rate), fmt.Sprintf("%.3f", w.Peak))
+	}
+	drt.AddRowf("lifetime", dr.Events, dr.Disagree, fmt.Sprintf("%.3f", dr.Rate), "")
+	if err := drt.WriteText(os.Stdout); err != nil {
+		return err
+	}
+
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		if err := writeTo(filepath.Join(csvDir, "modality.csv"), mod.WriteCSV); err != nil {
+			return err
+		}
+		if err := writeTo(filepath.Join(csvDir, "drift.csv"), drt.WriteCSV); err != nil {
+			return err
+		}
+	}
+	return nil
+}

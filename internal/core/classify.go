@@ -219,7 +219,11 @@ func (cl *Classifier) inferEnsembles(jobs []accounting.JobRecord, results []Resu
 			continue
 		}
 		sort.Slice(idxs, func(a, b int) bool {
-			return jobs[idxs[a]].SubmitTime < jobs[idxs[b]].SubmitTime
+			ja, jb := &jobs[idxs[a]], &jobs[idxs[b]]
+			if ja.SubmitTime != jb.SubmitTime {
+				return ja.SubmitTime < jb.SubmitTime
+			}
+			return ja.JobID < jb.JobID // ties broken by ID: record order must not matter
 		})
 		// Split into bursts at gaps larger than the window.
 		burst := []int{idxs[0]}
@@ -272,7 +276,11 @@ func (cl *Classifier) inferChains(jobs []accounting.JobRecord, results []Result,
 	for _, u := range usersSorted {
 		idxs := byUser[u]
 		sort.Slice(idxs, func(a, b int) bool {
-			return jobs[idxs[a]].SubmitTime < jobs[idxs[b]].SubmitTime
+			ja, jb := &jobs[idxs[a]], &jobs[idxs[b]]
+			if ja.SubmitTime != jb.SubmitTime {
+				return ja.SubmitTime < jb.SubmitTime
+			}
+			return ja.JobID < jb.JobID // ties broken by ID: record order must not matter
 		})
 		var chain []int
 		flush := func() {

@@ -98,6 +98,49 @@ func TestClassifyTotalAndStable(t *testing.T) {
 	}
 }
 
+// TestClassifyOrderInvariant: per-job decisions never depend on record
+// order — the property the streaming replay path relies on (a replayed
+// export may present records in a different order than the live flushes).
+func TestClassifyOrderInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := simrand.New(seed)
+		recs := randomRecords(rng, 50+rng.Intn(150))
+		// Force submit-time ties so the inference sorts' tiebreakers are
+		// actually exercised.
+		for i := 1; i < len(recs); i += 7 {
+			recs[i].SubmitTime = recs[i-1].SubmitTime
+		}
+		ingest := func(rs []accounting.JobRecord) *accounting.Central {
+			c := accounting.NewCentral()
+			if err := c.Ingest(&accounting.Packet{Site: "s", Seq: 1, Jobs: rs}); err != nil {
+				t.Fatal(err)
+			}
+			return c
+		}
+		shuffled := make([]accounting.JobRecord, len(recs))
+		for i, j := range rng.Perm(len(recs)) {
+			shuffled[i] = recs[j]
+		}
+		cl := NewClassifier(Config{LargestCores: 512})
+		ra := cl.Classify(ingest(recs))
+		rb := cl.Classify(ingest(shuffled))
+		byID := make(map[int64]job.Modality, len(rb))
+		for _, r := range rb {
+			byID[r.JobID] = r.Modality
+		}
+		for _, r := range ra {
+			if byID[r.JobID] != r.Modality {
+				t.Fatalf("seed %d: job %d classified %q in order, %q shuffled",
+					seed, r.JobID, r.Modality, byID[r.JobID])
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
 // TestClassifyIdempotent: classifying the same database twice yields
 // identical results (no hidden state in the classifier).
 func TestClassifyIdempotent(t *testing.T) {

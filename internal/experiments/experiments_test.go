@@ -386,3 +386,30 @@ func TestFLFleetScaling(t *testing.T) {
 		}
 	}
 }
+
+func TestDRDrift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full scenario with a tapped stream processor")
+	}
+	tab, rows, err := DRDrift(7, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want pre/post rows, got %d", len(rows))
+	}
+	pre, post := rows[0], rows[1]
+	if pre.Scored == 0 || post.Scored == 0 {
+		t.Fatalf("empty period: pre=%+v post=%+v", pre, post)
+	}
+	// The untagged surge must register: drift steps up after the shift.
+	if post.Rate <= pre.Rate {
+		t.Errorf("no drift step: pre %.4f, post %.4f", pre.Rate, post.Rate)
+	}
+	out := tab.String()
+	for _, want := range []string{"pre-shift", "post-shift", "lifetime", "peak trailing window"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -91,10 +91,10 @@ func TestFleetDeterminism(t *testing.T) {
 		}
 		sd := filepath.Join(dir, fmt.Sprintf("seq-%d", i))
 		pd := filepath.Join(dir, fmt.Sprintf("par-%d", i))
-		if err := regress.WriteRunDir(sd, sr.Registry, nil, sr.Result.Central); err != nil {
+		if err := regress.WriteRunDir(sd, sr.Registry, nil, sr.Result.Central, nil); err != nil {
 			t.Fatal(err)
 		}
-		if err := regress.WriteRunDir(pd, pr.Registry, nil, pr.Result.Central); err != nil {
+		if err := regress.WriteRunDir(pd, pr.Registry, nil, pr.Result.Central, nil); err != nil {
 			t.Fatal(err)
 		}
 		sRun, err := regress.LoadRunDir(sd)

@@ -14,6 +14,7 @@
 package regress
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -27,10 +28,25 @@ import (
 // have been exported with only some observability enabled), but at least
 // one must be present.
 const (
-	MetricsFile = "metrics.om"
-	ObsFile     = "obs.jsonl"
-	AcctFile    = "acct.jsonl"
+	MetricsFile  = "metrics.om"
+	ObsFile      = "obs.jsonl"
+	AcctFile     = "acct.jsonl"
+	ManifestFile = "manifest.json"
 )
+
+// Manifest carries the run parameters a consumer needs to reproduce the
+// exporting run's analysis without re-deriving them — most importantly
+// the classifier's largest-machine size and the final clock position the
+// streaming replay advances to.
+type Manifest struct {
+	Schema       int     `json:"schema"`
+	Seed         uint64  `json:"seed"`
+	LargestCores int     `json:"largest_cores"`
+	EndTimeS     float64 `json:"end_time_s"` // horizon + drain, virtual seconds
+}
+
+// ManifestSchema is the current manifest schema version.
+const ManifestSchema = 1
 
 // Run is one loaded run directory.
 type Run struct {
@@ -41,46 +57,82 @@ type Run struct {
 	Events []obs.Event
 	// Central holds the imported accounting database (nil when absent).
 	Central *accounting.Central
+	// Manifest holds the run parameters (nil when absent; older exports
+	// have no manifest).
+	Manifest *Manifest
 }
 
 // LoadRunDir reads a run directory written by WriteRunDir (tgsim -export).
 func LoadRunDir(dir string) (*Run, error) {
+	return LoadRunDirSelect(dir, MetricsFile, ObsFile, AcctFile)
+}
+
+// LoadRunDirSelect reads only the named run-directory files (from
+// MetricsFile, ObsFile, AcctFile), so two runs exported with different
+// observability can still be diffed over their common files. The
+// manifest is always loaded when present.
+func LoadRunDirSelect(dir string, files ...string) (*Run, error) {
+	want := make(map[string]bool, len(files))
+	for _, f := range files {
+		switch f {
+		case MetricsFile, ObsFile, AcctFile:
+			want[f] = true
+		default:
+			return nil, fmt.Errorf("regress: unknown run-dir file %q", f)
+		}
+	}
 	r := &Run{Dir: dir}
 	found := 0
 
-	if f, err := os.Open(filepath.Join(dir, MetricsFile)); err == nil {
-		r.Metrics, err = ParseOpenMetrics(f)
+	if f, err := os.Open(filepath.Join(dir, ManifestFile)); err == nil {
+		err = json.NewDecoder(f).Decode(&r.Manifest)
 		f.Close()
 		if err != nil {
-			return nil, fmt.Errorf("regress: %s/%s: %w", dir, MetricsFile, err)
+			return nil, fmt.Errorf("regress: %s/%s: %w", dir, ManifestFile, err)
 		}
-		found++
 	} else if !os.IsNotExist(err) {
 		return nil, err
 	}
 
-	if f, err := os.Open(filepath.Join(dir, ObsFile)); err == nil {
-		r.Events, err = obs.ReadJSONL(f)
-		f.Close()
-		if err != nil {
-			return nil, fmt.Errorf("regress: %s/%s: %w", dir, ObsFile, err)
+	if want[MetricsFile] {
+		if f, err := os.Open(filepath.Join(dir, MetricsFile)); err == nil {
+			r.Metrics, err = ParseOpenMetrics(f)
+			f.Close()
+			if err != nil {
+				return nil, fmt.Errorf("regress: %s/%s: %w", dir, MetricsFile, err)
+			}
+			found++
+		} else if !os.IsNotExist(err) {
+			return nil, err
 		}
-		found++
-	} else if !os.IsNotExist(err) {
-		return nil, err
 	}
 
-	if f, err := os.Open(filepath.Join(dir, AcctFile)); err == nil {
-		c := accounting.NewCentral()
-		err = c.Import(f)
-		f.Close()
-		if err != nil {
-			return nil, fmt.Errorf("regress: %s/%s: %w", dir, AcctFile, err)
+	if want[ObsFile] {
+		if f, err := os.Open(filepath.Join(dir, ObsFile)); err == nil {
+			r.Events, err = obs.ReadJSONL(f)
+			f.Close()
+			if err != nil {
+				return nil, fmt.Errorf("regress: %s/%s: %w", dir, ObsFile, err)
+			}
+			found++
+		} else if !os.IsNotExist(err) {
+			return nil, err
 		}
-		r.Central = c
-		found++
-	} else if !os.IsNotExist(err) {
-		return nil, err
+	}
+
+	if want[AcctFile] {
+		if f, err := os.Open(filepath.Join(dir, AcctFile)); err == nil {
+			c := accounting.NewCentral()
+			err = c.Import(f)
+			f.Close()
+			if err != nil {
+				return nil, fmt.Errorf("regress: %s/%s: %w", dir, AcctFile, err)
+			}
+			r.Central = c
+			found++
+		} else if !os.IsNotExist(err) {
+			return nil, err
+		}
 	}
 
 	if found == 0 {
@@ -90,9 +142,9 @@ func LoadRunDir(dir string) (*Run, error) {
 }
 
 // WriteRunDir exports a run directory: the single definition of the
-// on-disk format both tgsim (writer) and tgdiff (reader) share. Nil
-// sources are skipped; their files are not created.
-func WriteRunDir(dir string, reg *telemetry.Registry, buf *obs.Buffer, central *accounting.Central) error {
+// on-disk format both tgsim (writer) and tgdiff/replay (readers) share.
+// Nil sources are skipped; their files are not created.
+func WriteRunDir(dir string, reg *telemetry.Registry, buf *obs.Buffer, central *accounting.Central, man *Manifest) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -119,6 +171,19 @@ func WriteRunDir(dir string, reg *telemetry.Registry, buf *obs.Buffer, central *
 	}
 	if central != nil {
 		if err := writeTo(AcctFile, func(f *os.File) error { return central.Export(f) }); err != nil {
+			return err
+		}
+	}
+	if man != nil {
+		m := *man
+		if m.Schema == 0 {
+			m.Schema = ManifestSchema
+		}
+		if err := writeTo(ManifestFile, func(f *os.File) error {
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", " ")
+			return enc.Encode(&m)
+		}); err != nil {
 			return err
 		}
 	}

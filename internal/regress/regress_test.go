@@ -126,7 +126,7 @@ func exportRun(t *testing.T, dir string, seed uint64) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := WriteRunDir(dir, reg, buf, res.Central); err != nil {
+	if err := WriteRunDir(dir, reg, buf, res.Central, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -243,7 +243,7 @@ func TestLoadRunDirPartialAndMissing(t *testing.T) {
 	}
 	reg := telemetry.New()
 	reg.Gauge("tg_only", "").With().Set(1)
-	if err := WriteRunDir(dir, reg, nil, nil); err != nil {
+	if err := WriteRunDir(dir, reg, nil, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	r, err := LoadRunDir(dir)
@@ -259,5 +259,67 @@ func TestLoadRunDirPartialAndMissing(t *testing.T) {
 	}
 	if s["tg_only"] != 1 {
 		t.Errorf("series = %v", s)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.New()
+	reg.Gauge("tg_only", "").With().Set(1)
+	man := &Manifest{Seed: 42, LargestCores: 12288, EndTimeS: 864000}
+	if err := WriteRunDir(dir, reg, nil, nil, man); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadRunDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Manifest == nil {
+		t.Fatal("manifest not loaded")
+	}
+	// The schema version defaults on write; everything else round-trips.
+	want := Manifest{Schema: ManifestSchema, Seed: 42, LargestCores: 12288, EndTimeS: 864000}
+	if *r.Manifest != want {
+		t.Errorf("manifest = %+v, want %+v", *r.Manifest, want)
+	}
+	// A corrupt manifest is a load error, not a silent nil.
+	if err := os.WriteFile(filepath.Join(dir, ManifestFile), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRunDir(dir); err == nil {
+		t.Error("corrupt manifest loaded without error")
+	}
+}
+
+func TestLoadRunDirSelect(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.New()
+	reg.Gauge("tg_only", "").With().Set(1)
+	buf := obs.NewBuffer()
+	buf.Record(obs.Event{At: 1, Phase: obs.PhaseInstant, Cat: "job", Name: "x"})
+	if err := WriteRunDir(dir, reg, buf, nil, &Manifest{Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	// Selecting only obs skips the metrics but still loads the manifest.
+	r, err := LoadRunDirSelect(dir, ObsFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics != nil {
+		t.Error("metrics loaded despite not being selected")
+	}
+	if len(r.Events) != 1 {
+		t.Errorf("events = %d, want 1", len(r.Events))
+	}
+	if r.Manifest == nil || r.Manifest.Seed != 9 {
+		t.Errorf("manifest = %+v", r.Manifest)
+	}
+	// Selecting only an absent file finds nothing and errors.
+	if _, err := LoadRunDirSelect(dir, AcctFile); err == nil {
+		t.Error("selecting only an absent file must fail")
+	}
+	// Unknown selections are a usage error.
+	if _, err := LoadRunDirSelect(dir, "nope.txt"); err == nil {
+		t.Error("unknown file name accepted")
 	}
 }

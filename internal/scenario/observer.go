@@ -8,6 +8,7 @@
 package scenario
 
 import (
+	"github.com/tgsim/tgmod/internal/accounting"
 	"github.com/tgsim/tgmod/internal/des"
 	"github.com/tgsim/tgmod/internal/obs"
 	"github.com/tgsim/tgmod/internal/slo"
@@ -40,12 +41,23 @@ type Attachment struct {
 	// Tracers are additional raw kernel tracers; Run folds them together
 	// with the profiler and snapshot publisher via des.CombineTracers.
 	Tracers []des.Tracer
+	// Packets receive every accounting packet at the moment a site ledger
+	// flushes it to the central database — the live ingest seam the
+	// streaming observatory rides. Handlers run on the simulation goroutine
+	// after the central ingest, in site order, and must treat the packet as
+	// immutable.
+	Packets []func(at des.Time, p *accounting.Packet)
+	// SnapshotExtras decorate every published progress snapshot (in order,
+	// after the deterministic fields are built), letting observers surface
+	// their own state in /status without a second publication channel.
+	SnapshotExtras []func(*telemetry.Snapshot)
 }
 
 // enabled reports whether anything is attached.
 func (a *Attachment) enabled() bool {
 	return a.Recorder != nil || a.SamplePeriod > 0 || a.Profile ||
-		a.Registry != nil || a.Snapshots != nil || a.SLO != nil || len(a.Tracers) > 0
+		a.Registry != nil || a.Snapshots != nil || a.SLO != nil || len(a.Tracers) > 0 ||
+		len(a.Packets) > 0 || len(a.SnapshotExtras) > 0
 }
 
 // Observer contributes observability wiring to a run. Implementations
@@ -105,6 +117,28 @@ func TraceKernel(tr des.Tracer) Observer {
 	return ObserverFunc(func(a *Attachment) {
 		if tr != nil {
 			a.Tracers = append(a.Tracers, tr)
+		}
+	})
+}
+
+// TapPackets returns an Observer that receives every accounting packet as
+// a site ledger flushes it centrally — the ordered live record stream a
+// streaming consumer (internal/stream) ingests during the run.
+func TapPackets(fn func(at des.Time, p *accounting.Packet)) Observer {
+	return ObserverFunc(func(a *Attachment) {
+		if fn != nil {
+			a.Packets = append(a.Packets, fn)
+		}
+	})
+}
+
+// DecorateSnapshots returns an Observer that mutates every published
+// progress snapshot after its deterministic fields are built, so streaming
+// consumers can surface ingest/backpressure state in /status.
+func DecorateSnapshots(fn func(*telemetry.Snapshot)) Observer {
+	return ObserverFunc(func(a *Attachment) {
+		if fn != nil {
+			a.SnapshotExtras = append(a.SnapshotExtras, fn)
 		}
 	})
 }

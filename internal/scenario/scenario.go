@@ -482,7 +482,9 @@ func Run(cfg Config) (*Result, error) {
 			gateways, bank, &finished, rec)
 	}
 
-	// Periodic accounting reporting over the simulated wire.
+	// Periodic accounting reporting over the simulated wire. Packet taps
+	// (the streaming observatory's live ingest seam) observe each packet
+	// after the central ingest, in deterministic site order.
 	flushAll := func() error {
 		for _, s := range fed.Sites {
 			if p := ledgers[s.ID].Flush(k.Now()); p != nil {
@@ -494,6 +496,9 @@ func Run(cfg Config) (*Result, error) {
 					return err
 				}
 				th.flushed(len(p.Jobs), len(data))
+				for _, tap := range att.Packets {
+					tap(k.Now(), p)
+				}
 			}
 		}
 		return nil
@@ -544,8 +549,26 @@ func Run(cfg Config) (*Result, error) {
 	// with the profiler when both are on.
 	var pub *telemetry.Publisher
 	if att.Snapshots != nil {
+		build := snapshotBuilder(fed, scheds, &finished, cfg.Horizon+cfg.DrainTime)
+		// Decorate each snapshot with span-buffer drop counts and whatever
+		// observer extras are attached (stream ingest state, etc.).
+		obsBuf, _ := rec.(*obs.Buffer)
+		if obsBuf != nil || len(att.SnapshotExtras) > 0 {
+			inner := build
+			extras := att.SnapshotExtras
+			build = func(at des.Time, events uint64, pending int) *telemetry.Snapshot {
+				s := inner(at, events, pending)
+				if obsBuf != nil {
+					s.ObsDropped = obsBuf.Dropped()
+				}
+				for _, fn := range extras {
+					fn(s)
+				}
+				return s
+			}
+		}
 		pub = &telemetry.Publisher{
-			Build: snapshotBuilder(fed, scheds, &finished, cfg.Horizon+cfg.DrainTime),
+			Build: build,
 			Sink:  att.Snapshots,
 		}
 	}

@@ -1,0 +1,185 @@
+package stream
+
+import (
+	"github.com/tgsim/tgmod/internal/des"
+	"github.com/tgsim/tgmod/internal/job"
+	"github.com/tgsim/tgmod/internal/telemetry"
+)
+
+// driftMonitor scores the online classifier against the trailing
+// ground-truth labels carried in the records (the generator's
+// TruthModality, which classifiers themselves never read). Agreement is
+// tracked over the same burn-style trailing windows as usage, plus
+// lifetime totals, peak in-window drift, and an append-only hourly
+// history the drift experiment reads back to localize a workload shift.
+//
+// "Drift" here is the disagreement rate: the fraction of recent
+// classifications that contradict their trailing truth label. A workload
+// shift the online rules don't capture (e.g. a surge of untagged
+// campaigns) pushes the short windows up first — exactly the burn-rate
+// alerting shape the SLO layer uses.
+type driftMonitor struct {
+	rings [numWindows]*driftRing
+	peaks [numWindows]float64
+
+	agree    int64
+	disagree int64
+
+	// history accumulates per-hour agreement cells in virtual-time order.
+	history    []driftCell
+	histIdx    int64 // absolute hour index of the open cell
+	histPrimed bool
+
+	cAgree    *telemetry.Counter
+	cDisagree *telemetry.Counter
+}
+
+// driftCell is one closed hour of agreement history.
+type driftCell struct {
+	Hour     int64 `json:"hour"` // absolute virtual hour index
+	Agree    int64 `json:"agree"`
+	Disagree int64 `json:"disagree"`
+}
+
+// driftRing is a good/bad ring over one trailing window (the slo ring
+// shape, duplicated here to keep the packages decoupled).
+type driftRing struct {
+	width   des.Time
+	buckets []struct{ good, bad int64 }
+	lastIdx int64
+	primed  bool
+}
+
+func newDriftRing(width des.Time, n int) *driftRing {
+	return &driftRing{width: width, buckets: make([]struct{ good, bad int64 }, n)}
+}
+
+func (r *driftRing) idx(t des.Time) int64 { return int64(t / r.width) }
+
+func (r *driftRing) advance(now des.Time) {
+	i := r.idx(now)
+	if !r.primed {
+		r.primed = true
+		r.lastIdx = i
+		return
+	}
+	if i <= r.lastIdx {
+		return
+	}
+	steps := i - r.lastIdx
+	if steps > int64(len(r.buckets)) {
+		steps = int64(len(r.buckets))
+	}
+	for s := int64(1); s <= steps; s++ {
+		r.buckets[(r.lastIdx+s)%int64(len(r.buckets))] = struct{ good, bad int64 }{}
+	}
+	r.lastIdx = i
+}
+
+func (r *driftRing) add(now des.Time, good bool) {
+	r.advance(now)
+	b := &r.buckets[r.idx(now)%int64(len(r.buckets))]
+	if good {
+		b.good++
+	} else {
+		b.bad++
+	}
+}
+
+func (r *driftRing) totals(now des.Time) (good, bad int64) {
+	r.advance(now)
+	for _, b := range r.buckets {
+		good += b.good
+		bad += b.bad
+	}
+	return good, bad
+}
+
+func newDriftMonitor() *driftMonitor {
+	d := &driftMonitor{}
+	for i, w := range streamWindows {
+		d.rings[i] = newDriftRing(w.bucket, int(w.span/w.bucket))
+	}
+	return d
+}
+
+func (d *driftMonitor) bind(reg *telemetry.Registry, now func() des.Time) {
+	if reg == nil {
+		return
+	}
+	events := reg.Counter("tg_drift_events_total",
+		"Online classifications scored against trailing ground truth, by result.", "result")
+	d.cAgree = events.With("agree")
+	d.cDisagree = events.With("disagree")
+	rate := reg.Gauge("tg_drift_rate",
+		"Classifier drift (disagreement fraction) per trailing virtual-time window.", "window")
+	peak := reg.Gauge("tg_drift_peak",
+		"Worst in-window classifier drift observed so far.", "window")
+	for i := range streamWindows {
+		i := i
+		rate.Func(func() float64 { return d.windowRate(i, now()) }, streamWindows[i].label)
+		peak.Func(func() float64 { return d.peaks[i] }, streamWindows[i].label)
+	}
+}
+
+// observe scores one classification against its trailing truth label.
+// Records without a truth label (operationally: real deployments) score
+// as agreement-unknown and are skipped rather than counted either way.
+func (d *driftMonitor) observe(at des.Time, measured job.Modality, truth string) {
+	if truth == "" {
+		return
+	}
+	good := string(measured) == truth
+	if good {
+		d.agree++
+		d.cAgree.Inc()
+	} else {
+		d.disagree++
+		d.cDisagree.Inc()
+	}
+	for i := range d.rings {
+		d.rings[i].add(at, good)
+		if r := d.windowRate(i, at); r > d.peaks[i] {
+			d.peaks[i] = r
+		}
+	}
+	d.recordHistory(at, good)
+}
+
+// recordHistory rolls the append-only hourly history forward.
+func (d *driftMonitor) recordHistory(at des.Time, good bool) {
+	hour := int64(at / des.Hour)
+	if !d.histPrimed || hour != d.histIdx {
+		d.history = append(d.history, driftCell{Hour: hour})
+		d.histIdx = hour
+		d.histPrimed = true
+	}
+	cell := &d.history[len(d.history)-1]
+	if good {
+		cell.Agree++
+	} else {
+		cell.Disagree++
+	}
+}
+
+// windowRate returns the disagreement fraction in window w as of now
+// (0 when the window is empty).
+func (d *driftMonitor) windowRate(w int, now des.Time) float64 {
+	good, bad := d.rings[w].totals(now)
+	if good+bad == 0 {
+		return 0
+	}
+	return float64(bad) / float64(good+bad)
+}
+
+// lifetimeRate returns the run-wide disagreement fraction.
+func (d *driftMonitor) lifetimeRate() float64 {
+	if d.agree+d.disagree == 0 {
+		return 0
+	}
+	return float64(d.disagree) / float64(d.agree+d.disagree)
+}
+
+// History returns the closed-plus-open hourly agreement cells in
+// virtual-time order. Callers must not modify the slice.
+func (d *driftMonitor) History() []driftCell { return d.history }

@@ -10,16 +10,20 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 )
 
 // Console serves the live run console: /metrics (OpenMetrics), /status
-// (JSON snapshot), and / (a self-contained HTML dashboard). The zero value
-// is not ready; use NewConsole.
+// (JSON snapshot), / (a self-contained HTML dashboard), plus any extra
+// JSON documents published with PublishJSON (the streaming observatory
+// mounts /modalities and /drift). The zero value is not ready; use
+// NewConsole.
 type Console struct {
 	snap    atomic.Pointer[Snapshot]
 	metrics atomic.Pointer[[]byte]
+	pages   sync.Map // path → *[]byte, immutable payloads
 	srv     *http.Server
 }
 
@@ -48,6 +52,18 @@ func (c *Console) Update(s *Snapshot, openMetrics []byte) {
 // Snapshot returns the most recently published snapshot.
 func (c *Console) Snapshot() *Snapshot { return c.snap.Load() }
 
+// PublishJSON mounts (or refreshes) an extra JSON document at path (e.g.
+// "/modalities"). The payload must be treated as immutable after the call;
+// a nil payload unmounts the path. Safe to call from the simulation
+// goroutine while HTTP requests are in flight.
+func (c *Console) PublishJSON(path string, payload []byte) {
+	if payload == nil {
+		c.pages.Delete(path)
+		return
+	}
+	c.pages.Store(path, &payload)
+}
+
 // ServeHTTP implements http.Handler, routing the three console endpoints.
 func (c *Console) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
@@ -63,6 +79,11 @@ func (c *Console) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		w.Write([]byte(dashboardHTML))
 	default:
+		if p, ok := c.pages.Load(r.URL.Path); ok {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			w.Write(*p.(*[]byte))
+			return
+		}
 		http.NotFound(w, r)
 	}
 }
@@ -124,9 +145,61 @@ td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
 <table id="machines"><thead>
 <tr><th>machine</th><th class="num">queued</th><th class="num">running</th><th class="num">utilization</th></tr>
 </thead><tbody></tbody></table>
+<div id="modpanel" style="display:none">
+<h1>Live modalities <span id="stream" style="font-weight:normal;color:#555"></span></h1>
+<table id="modalities"><thead>
+<tr><th>modality</th><th class="num">jobs 24h</th><th class="num">NUs 24h</th><th class="num">NU share</th><th class="num">confidence</th></tr>
+</thead><tbody></tbody></table>
+</div>
+<div id="driftpanel" style="display:none">
+<h1>Classifier drift</h1>
+<table id="drift"><thead>
+<tr><th>window</th><th class="num">events</th><th class="num">disagree</th><th class="num">drift</th><th class="num">peak</th></tr>
+</thead><tbody></tbody></table>
+</div>
 <p>Raw endpoints: <a href="/status"><code>/status</code></a> (JSON),
-<a href="/metrics"><code>/metrics</code></a> (OpenMetrics).</p>
+<a href="/metrics"><code>/metrics</code></a> (OpenMetrics),
+<a href="/modalities"><code>/modalities</code></a> and
+<a href="/drift"><code>/drift</code></a> (streaming observatory, when attached).</p>
 <script>
+function fillRows(sel, rows) {
+  const tb = document.querySelector(sel);
+  tb.innerHTML = '';
+  for (const cells of rows) {
+    const tr = document.createElement('tr');
+    for (const v of cells) {
+      const td = document.createElement('td');
+      td.textContent = v;
+      if (typeof v === 'number' || (typeof v === 'string' && v.endsWith('%'))) td.className = 'num';
+      tr.appendChild(td);
+    }
+    tb.appendChild(tr);
+  }
+}
+async function tickStream() {
+  try {
+    const r = await fetch('/modalities');
+    if (r.ok) {
+      const m = await r.json();
+      document.getElementById('modpanel').style.display = '';
+      const total = (m.windows || []).reduce((a, w) => a + (w.window === '24h' ? w.total_nus : 0), 0);
+      const w24 = (m.windows || []).find(w => w.window === '24h') || {rows: []};
+      fillRows('#modalities tbody', (w24.rows || []).map(x =>
+        [x.modality, x.jobs, Math.round(x.nus).toLocaleString(),
+         total > 0 ? (100 * x.nus / total).toFixed(1) + '%' : '0.0%',
+         (100 * x.confidence).toFixed(0) + '%']));
+    }
+    const d = await fetch('/drift');
+    if (d.ok) {
+      const dj = await d.json();
+      document.getElementById('driftpanel').style.display = '';
+      fillRows('#drift tbody', (dj.windows || []).map(x =>
+        [x.window, x.events, x.disagree, (100 * x.rate).toFixed(2) + '%',
+         (100 * x.peak).toFixed(2) + '%']));
+    }
+  } catch (e) { /* panels stay hidden until the endpoints exist */ }
+  setTimeout(tickStream, 2000);
+}
 async function tick() {
   try {
     const r = await fetch('/status');
@@ -139,6 +212,11 @@ async function tick() {
       '  ·  ' + s.events.toLocaleString() + ' events ' + eps +
       '  ·  finished ' + s.jobs_finished.toLocaleString() +
       (s.done ? '  ·  done' : (s.eta_seconds ? '  ·  eta ' + Math.round(s.eta_seconds) + 's' : ''));
+    if (s.stream) {
+      document.getElementById('stream').textContent =
+        '· ingested ' + s.stream.ingested.toLocaleString() +
+        (s.stream.dropped ? ' · DROPPED ' + s.stream.dropped : '');
+    }
     const tb = document.querySelector('#machines tbody');
     tb.innerHTML = '';
     for (const m of (s.machines || [])) {
@@ -155,6 +233,7 @@ async function tick() {
   } catch (e) { setTimeout(tick, 2000); }
 }
 tick();
+tickStream();
 </script>
 </body>
 </html>

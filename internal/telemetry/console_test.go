@@ -85,6 +85,32 @@ func TestConsoleDashboardAndNotFound(t *testing.T) {
 	}
 }
 
+func TestConsolePublishJSON(t *testing.T) {
+	c := NewConsole()
+	// Unpublished extra pages 404 like any unknown path.
+	if rec := get(t, c, "/modalities"); rec.Code != 404 {
+		t.Errorf("unpublished /modalities code %d, want 404", rec.Code)
+	}
+	payload := []byte(`{"windows":[]}` + "\n")
+	c.PublishJSON("/modalities", payload)
+	rec := get(t, c, "/modalities")
+	if rec.Code != 200 || rec.Body.String() != string(payload) {
+		t.Errorf("/modalities: code %d body %q", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/modalities content-type = %q", ct)
+	}
+	// Republishing replaces; nil payload unmounts.
+	c.PublishJSON("/modalities", []byte("{}\n"))
+	if rec := get(t, c, "/modalities"); rec.Body.String() != "{}\n" {
+		t.Errorf("republished body %q", rec.Body.String())
+	}
+	c.PublishJSON("/modalities", nil)
+	if rec := get(t, c, "/modalities"); rec.Code != 404 {
+		t.Errorf("unmounted /modalities code %d, want 404", rec.Code)
+	}
+}
+
 func TestConsoleServeRealListener(t *testing.T) {
 	c := NewConsole()
 	addr, err := c.Serve("127.0.0.1:0")

@@ -38,6 +38,22 @@ type Snapshot struct {
 	EventsPerSec float64       `json:"events_per_sec"`
 	ETASeconds   float64       `json:"eta_seconds"`
 	Done         bool          `json:"done"`
+	// ObsDropped counts span events the obs buffer overflowed and lost;
+	// non-zero means every event-stream consumer below is truncated.
+	ObsDropped uint64 `json:"obs_dropped,omitempty"`
+	// Stream is the streaming-observatory ingest state (nil when no stream
+	// processor is attached).
+	Stream *StreamSnap `json:"stream,omitempty"`
+}
+
+// StreamSnap is the stream-processor slice of a snapshot: how much the
+// live ingest pipeline has consumed and whether backpressure dropped any
+// records.
+type StreamSnap struct {
+	Ingested  uint64 `json:"ingested"`   // records accepted into the pipeline
+	Dropped   uint64 `json:"dropped"`    // records lost to inbox overflow
+	Depth     int    `json:"depth"`      // records currently spooled
+	HighWater int    `json:"high_water"` // maximum spool depth seen
 }
 
 // Line renders the snapshot as a one-line progress report for stderr.

@@ -1,0 +1,34 @@
+package workload
+
+import "github.com/tgsim/tgmod/internal/des"
+
+// DelayedGen defers a wrapped generator's stream until a virtual-time
+// offset: nothing is generated before After, and from After on the inner
+// generator runs unchanged (its own arrival process, its own horizon
+// check). This is the workload-shift primitive the drift experiment uses
+// to inject a mid-run change of mix that an online classifier must notice.
+type DelayedGen struct {
+	// After is the virtual time the wrapped stream switches on. Zero or
+	// negative starts it immediately (the wrapper disappears).
+	After des.Time
+	// Gen is the wrapped workload source.
+	Gen Generator
+}
+
+// Name implements Generator.
+func (g *DelayedGen) Name() string { return g.Gen.Name() + "-delayed" }
+
+// Start implements Generator. The inner Start runs at After, so every
+// derived RNG stream and arrival chain begins there; a delayed generator
+// shares no state with an undelayed twin started at time zero.
+func (g *DelayedGen) Start(e *Env) {
+	if g.After <= 0 {
+		g.Gen.Start(e)
+		return
+	}
+	if g.After >= e.Horizon {
+		return // would wake only to find the horizon passed
+	}
+	e.K.AtNamed(g.After, des.Intern("delayed-start-"+g.Gen.Name()),
+		func(*des.Kernel) { g.Gen.Start(e) })
+}

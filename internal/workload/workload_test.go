@@ -488,3 +488,38 @@ func TestReplayGenTimeScaleAndHorizon(t *testing.T) {
 		t.Fatalf("replayed %d jobs, want 1 (horizon cut)", total)
 	}
 }
+
+func TestDelayedGen(t *testing.T) {
+	e := testEnv(t, 9)
+	after := 3 * des.Day
+	(&DelayedGen{After: after,
+		Gen: &BatchGen{JobsPerDay: 80, MedianRuntime: 1800}}).Start(e)
+	byMod := drain(e)
+	total := 0
+	for _, jobs := range byMod {
+		for _, j := range jobs {
+			total++
+			if j.SubmitTime < after {
+				t.Fatalf("job %d submitted at %v, before the %v delay", j.ID, j.SubmitTime, after)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("delayed generator produced nothing in the remaining horizon")
+	}
+
+	// A delay at/past the horizon generates nothing at all.
+	e2 := testEnv(t, 9)
+	(&DelayedGen{After: e2.Horizon,
+		Gen: &BatchGen{JobsPerDay: 80, MedianRuntime: 1800}}).Start(e2)
+	if byMod := drain(e2); len(byMod) != 0 {
+		t.Errorf("past-horizon delay still generated %d modalities", len(byMod))
+	}
+
+	// Zero delay is transparent.
+	e3 := testEnv(t, 9)
+	(&DelayedGen{Gen: &BatchGen{JobsPerDay: 80, MedianRuntime: 1800}}).Start(e3)
+	if byMod := drain(e3); len(byMod) == 0 {
+		t.Error("zero-delay wrapper generated nothing")
+	}
+}
