@@ -11,6 +11,7 @@ import (
 
 	"github.com/tgsim/tgmod/internal/experiments"
 	"github.com/tgsim/tgmod/internal/fleet"
+	"github.com/tgsim/tgmod/internal/observatory"
 	"github.com/tgsim/tgmod/internal/scenario"
 )
 
@@ -21,7 +22,9 @@ import (
 // a dedicated workers=GOMAXPROCS run, each with its real wall, instead of
 // reusing the FL sweep's endpoints (which collapse to one workers=1 row
 // on a single-core host and recorded speedup 1.0 by construction).
-const benchSchemaVersion = 3
+// v4 added the push section (observatory push overhead: events/s with the
+// run streaming to a local tgobsd vs. off).
+const benchSchemaVersion = 4
 
 // BenchRecord is one point on the performance trajectory: what was built
 // (git describe), how it was run (seed, scale, host), how fast the kernel
@@ -36,6 +39,7 @@ type BenchRecord struct {
 	Scale       string             `json:"scale"`
 	Kernel      BenchKernel        `json:"kernel"`
 	Fleet       *BenchFleet        `json:"fleet,omitempty"`
+	Push        *BenchPush         `json:"push,omitempty"`
 	Experiments map[string]float64 `json:"experiments_wall_s"`
 }
 
@@ -112,6 +116,104 @@ func measureFleet(seed uint64, sc experiments.Scale) (*BenchFleet, error) {
 	return bf, nil
 }
 
+// BenchPush holds observatory push-overhead figures: the standard
+// scenario timed twice from the same baseline — once plain, once with a
+// pusher streaming every accounting flush to an in-process tgobsd daemon
+// on loopback — and the throughput cost of the push path. PacketFrames
+// anchors the comparison (it must match the run's flush count; a lossy
+// push would make the overhead figure meaningless and fails the
+// measurement instead).
+type BenchPush struct {
+	EventsPerSecPlain float64 `json:"events_per_sec_plain"`
+	EventsPerSecPush  float64 `json:"events_per_sec_push"`
+	OverheadPct       float64 `json:"overhead_pct"`
+	PacketFrames      uint64  `json:"packet_frames"`
+	PushedBytes       uint64  `json:"pushed_bytes"`
+}
+
+// measurePush times the standard scenario with and without a push to a
+// local in-process observatory daemon.
+func measurePush(seed uint64, sc experiments.Scale) (*BenchPush, error) {
+	timed := func(push string) (float64, uint64, uint64, error) {
+		cfg := experiments.StandardConfig(seed, sc)
+		var p *observatory.Pusher
+		if push != "" {
+			fed := cfg.Federation
+			if fed == nil {
+				var err error
+				if fed, err = scenario.TG9(); err != nil {
+					return 0, 0, 0, err
+				}
+			}
+			largest := 0
+			for _, m := range fed.Machines() {
+				if m.BatchCores() > largest {
+					largest = m.BatchCores()
+				}
+			}
+			var err error
+			p, err = observatory.Dial(push, observatory.Hello{
+				Run: "bench", Seed: seed, LargestCores: largest,
+				EndTimeS: float64(cfg.Horizon + cfg.DrainTime), Source: "benchtab",
+			})
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			cfg.Observers = append(cfg.Observers, p.Observer(nil))
+		}
+		start := time.Now()
+		res, err := scenario.Run(cfg)
+		if err != nil {
+			if p != nil {
+				p.Abort()
+			}
+			return 0, 0, 0, err
+		}
+		wall := time.Since(start).Seconds()
+		var frames, bytes uint64
+		if p != nil {
+			if err := p.Finish(float64(cfg.Horizon + cfg.DrainTime)); err != nil {
+				return 0, 0, 0, fmt.Errorf("push finish: %w", err)
+			}
+			if p.Lossy() {
+				return 0, 0, 0, fmt.Errorf("push lost frames; overhead figure would be meaningless")
+			}
+			st := p.Stats()
+			frames, bytes = st.Packets, st.Bytes
+		}
+		eps := 0.0
+		if wall > 0 {
+			eps = float64(res.Kernel.Executed()) / wall
+		}
+		return eps, frames, bytes, nil
+	}
+
+	plainEPS, _, _, err := timed("")
+	if err != nil {
+		return nil, err
+	}
+	d := observatory.NewDaemon(observatory.Config{})
+	addr, err := d.ListenIngest("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+	pushEPS, frames, bytes, err := timed(addr)
+	if err != nil {
+		return nil, err
+	}
+	bp := &BenchPush{
+		EventsPerSecPlain: plainEPS,
+		EventsPerSecPush:  pushEPS,
+		PacketFrames:      frames,
+		PushedBytes:       bytes,
+	}
+	if plainEPS > 0 {
+		bp.OverheadPct = 100 * (1 - pushEPS/plainEPS)
+	}
+	return bp, nil
+}
+
 // measureKernel times the standard scenario and extracts kernel stats.
 func measureKernel(seed uint64, sc experiments.Scale) (BenchKernel, error) {
 	cfg := experiments.StandardConfig(seed, sc)
@@ -155,6 +257,10 @@ func writeBenchRecord(path string, seed uint64, scaleName string, sc experiments
 	if err != nil {
 		return fmt.Errorf("fleet measurement: %w", err)
 	}
+	psh, err := measurePush(seed, sc)
+	if err != nil {
+		return fmt.Errorf("push measurement: %w", err)
+	}
 	rec := BenchRecord{
 		Schema:      benchSchemaVersion,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -164,6 +270,7 @@ func writeBenchRecord(path string, seed uint64, scaleName string, sc experiments
 		Scale:       scaleName,
 		Kernel:      kern,
 		Fleet:       flt,
+		Push:        psh,
 		Experiments: wall,
 	}
 	data, err := json.MarshalIndent(&rec, "", "  ")

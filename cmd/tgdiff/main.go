@@ -13,36 +13,47 @@
 // exported with different observability (e.g. a live run and its replay,
 // which has no metrics.om) can still be diffed over their common files.
 //
-// Exit status: 0 when the diff is empty, 1 when it reports regressions,
-// 2 on usage or load errors.
+// Exit status (shared code table with tgsim; see the README): 0 when the
+// diff is empty, 1 when it reports regressions, 2 on usage or load errors.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"github.com/tgsim/tgmod/internal/regress"
 )
 
+// Exit codes (aligned with tgsim's table in exit.go / the README).
+const (
+	exitOK   = 0 // diff is empty
+	exitDiff = 1 // regressions reported
+	exitErr  = 2 // usage or load error
+)
+
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	fs := flag.NewFlagSet("tgdiff", flag.ExitOnError)
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tgdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	absTol := fs.Float64("abs", 0, "absolute tolerance per series")
 	relTol := fs.Float64("rel", 0, "relative tolerance per series (fraction of the larger magnitude)")
 	filesFlag := fs.String("files", "", "comma-separated run-dir files to compare: metrics, obs, acct (default: all)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: tgdiff [-abs N] [-rel N] [-files metrics,obs,acct] BASELINE_DIR CANDIDATE_DIR")
+		fmt.Fprintln(stderr, "usage: tgdiff [-abs N] [-rel N] [-files metrics,obs,acct] BASELINE_DIR CANDIDATE_DIR")
 		fs.PrintDefaults()
 	}
-	_ = fs.Parse(os.Args[1:])
+	if err := fs.Parse(args); err != nil {
+		return exitErr
+	}
 	if fs.NArg() != 2 {
 		fs.Usage()
-		return 2
+		return exitErr
 	}
 	want := []string{regress.MetricsFile, regress.ObsFile, regress.AcctFile}
 	if *filesFlag != "" {
@@ -56,8 +67,8 @@ func run() int {
 			case "acct":
 				want = append(want, regress.AcctFile)
 			default:
-				fmt.Fprintf(os.Stderr, "tgdiff: unknown -files entry %q (want metrics, obs, or acct)\n", f)
-				return 2
+				fmt.Fprintf(stderr, "tgdiff: unknown -files entry %q (want metrics, obs, or acct)\n", f)
+				return exitErr
 			}
 		}
 	}
@@ -71,22 +82,22 @@ func run() int {
 	}
 	a, err := series(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tgdiff:", err)
-		return 2
+		fmt.Fprintln(stderr, "tgdiff:", err)
+		return exitErr
 	}
 	b, err := series(fs.Arg(1))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tgdiff:", err)
-		return 2
+		fmt.Fprintln(stderr, "tgdiff:", err)
+		return exitErr
 	}
 
 	rep := regress.Diff(a, b, regress.Tolerance{Abs: *absTol, Rel: *relTol})
-	if err := rep.WriteText(os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "tgdiff:", err)
-		return 2
+	if err := rep.WriteText(stdout); err != nil {
+		fmt.Fprintln(stderr, "tgdiff:", err)
+		return exitErr
 	}
 	if !rep.Empty() {
-		return 1
+		return exitDiff
 	}
-	return 0
+	return exitOK
 }

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeMetricsDir creates a run directory holding one metrics.om with a
+// single series at the given value.
+func writeMetricsDir(t *testing.T, value string) string {
+	t.Helper()
+	dir := t.TempDir()
+	om := "# TYPE tg_jobs counter\ntg_jobs_total " + value + "\n# EOF\n"
+	if err := os.WriteFile(filepath.Join(dir, "metrics.om"), []byte(om), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestExitCodes pins the documented exit-code contract: 0 empty diff,
+// 1 regressions, 2 usage/load errors.
+func TestExitCodes(t *testing.T) {
+	same := writeMetricsDir(t, "5")
+	same2 := writeMetricsDir(t, "5")
+	diff := writeMetricsDir(t, "7")
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"identical", []string{same, same2}, exitOK},
+		{"regression", []string{same, diff}, exitDiff},
+		{"missing dir", []string{same, filepath.Join(same, "nope")}, exitErr},
+		{"no args", nil, exitErr},
+		{"bad files flag", []string{"-files", "bogus", same, same2}, exitErr},
+		{"bad flag", []string{"-definitely-not-a-flag"}, exitErr},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if got := run(tc.args, &out, &errb); got != tc.want {
+				t.Fatalf("run(%q) = %d, want %d (stderr: %s)", tc.args, got, tc.want, errb.String())
+			}
+		})
+	}
+}
+
+// TestRegressionNamesSeries checks the non-empty diff actually reports
+// the moved series on stdout.
+func TestRegressionNamesSeries(t *testing.T) {
+	a := writeMetricsDir(t, "5")
+	b := writeMetricsDir(t, "7")
+	var out, errb bytes.Buffer
+	if got := run([]string{a, b}, &out, &errb); got != exitDiff {
+		t.Fatalf("run = %d, want %d", got, exitDiff)
+	}
+	if !strings.Contains(out.String(), "tg_jobs_total") {
+		t.Fatalf("diff output does not name the moved series:\n%s", out.String())
+	}
+}

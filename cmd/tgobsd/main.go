@@ -1,0 +1,127 @@
+// tgobsd is the standalone observatory daemon: it ingests telemetry
+// pushed by any number of concurrent runs (tgsim -push, fleet reps,
+// replays), maintains one streaming processor and one accounting database
+// per run, and serves a federated multi-run console.
+//
+//	tgobsd -listen 127.0.0.1:9310 -http 127.0.0.1:9311
+//	tgsim -scale quick -seed 7 -push 127.0.0.1:9310 -push-id a7
+//
+// With -merge, tgobsd instead runs as an offline federator: it reads
+// exported per-run modalities.json documents and prints the fleet-level
+// merge, byte-identical to what a live daemon holding those runs serves
+// on /modalities (the CI determinism gate relies on this).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+
+	"github.com/tgsim/tgmod/internal/observatory"
+	"github.com/tgsim/tgmod/internal/stream"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("tgobsd", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:9310", "push ingest address (host:port, or unix:PATH)")
+	httpAddr := fs.String("http", "127.0.0.1:9311", "console HTTP address")
+	streamBuf := fs.Int("stream-buf", 0, "per-run stream inbox capacity (0 = unbounded)")
+	finalOut := fs.String("final-out", "", "directory for per-run final artifacts (<id>.modality.txt, <id>.modalities.json)")
+	merge := fs.Bool("merge", false, "offline mode: merge per-run modalities.json files named as args and print the fleet document")
+	quiet := fs.Bool("quiet", false, "suppress connection lifecycle logging")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *merge {
+		return runMerge(fs.Args())
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "tgobsd: unexpected arguments %q (did you mean -merge?)\n", fs.Args())
+		return 2
+	}
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	if *quiet {
+		logger = nil
+	}
+	d := observatory.NewDaemon(observatory.Config{
+		InboxCap: *streamBuf,
+		FinalDir: *finalOut,
+		Log:      logger,
+	})
+	ingest, err := d.ListenIngest(*listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tgobsd: listen: %v\n", err)
+		return 2
+	}
+	console, err := d.ServeConsole(*httpAddr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tgobsd: http: %v\n", err)
+		d.Close()
+		return 2
+	}
+	// The ready line is a stable contract for scripts (CI greps for it).
+	fmt.Fprintf(os.Stderr, "tgobsd: ready ingest=%s http=%s\n", ingest, console)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Fprintf(os.Stderr, "tgobsd: %v, shutting down\n", s)
+	if err := d.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "tgobsd: shutdown: %v\n", err)
+		return 2
+	}
+	return 0
+}
+
+// runMerge federates exported per-run modality payloads offline. Run IDs
+// are the file base names (with .modalities.json / .json stripped); the
+// merge is computed over runs sorted by ID, exactly as the live daemon
+// orders its /modalities document.
+func runMerge(paths []string) int {
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "tgobsd: -merge wants one or more modalities.json files")
+		return 2
+	}
+	type runDoc struct {
+		id string
+		p  *stream.ModalitiesPayload
+	}
+	docs := make([]runDoc, 0, len(paths))
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tgobsd: %v\n", err)
+			return 2
+		}
+		p, err := observatory.ParseModalities(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tgobsd: %s: %v\n", path, err)
+			return 2
+		}
+		id := filepath.Base(path)
+		id = strings.TrimSuffix(id, ".modalities.json")
+		id = strings.TrimSuffix(id, ".json")
+		docs = append(docs, runDoc{id: id, p: p})
+	}
+	sort.Slice(docs, func(i, j int) bool { return docs[i].id < docs[j].id })
+	ids := make([]string, len(docs))
+	ps := make([]*stream.ModalitiesPayload, len(docs))
+	for i, d := range docs {
+		ids[i] = d.id
+		ps[i] = d.p
+	}
+	os.Stdout.Write(stream.MarshalPayload(observatory.MergeModalities(ids, ps)))
+	return 0
+}

@@ -41,6 +41,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -51,6 +52,7 @@ import (
 	"github.com/tgsim/tgmod/internal/faults"
 	"github.com/tgsim/tgmod/internal/fleet"
 	"github.com/tgsim/tgmod/internal/obs"
+	"github.com/tgsim/tgmod/internal/observatory"
 	"github.com/tgsim/tgmod/internal/regress"
 	"github.com/tgsim/tgmod/internal/report"
 	"github.com/tgsim/tgmod/internal/scenario"
@@ -60,10 +62,11 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	err := run()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tgsim:", err)
-		os.Exit(1)
 	}
+	os.Exit(exitCode(err))
 }
 
 func run() error {
@@ -101,6 +104,8 @@ func run() error {
 	modalityOut := flag.String("modality-out", "", "write the usage-by-modality table to this file (the replay-equivalence comparison anchor)")
 	replayDir := flag.String("replay", "", "replay an exported run directory through the streaming pipeline instead of simulating")
 	replaySpeed := flag.Float64("replay-speed", 0, "replay pacing in virtual seconds per wall second (0 = as fast as possible)")
+	push := flag.String("push", "", "stream telemetry to an observatory daemon (tgobsd) at host:port or unix:PATH; same-seed runs stay byte-identical with or without it")
+	pushID := flag.String("push-id", "", "run identity to request from the observatory daemon (fleet replications get -rNN suffixes; empty = daemon-assigned)")
 	flag.Parse()
 
 	if *replayDir != "" {
@@ -178,7 +183,13 @@ func run() error {
 		// console, profiles) describe ONE kernel and do not compose across
 		// N concurrent replications, so they are ignored here; -export
 		// writes the merged fleet metrics instead of a single run dir.
-		return runFleetMode(*reps, *parallel, *seed, buildCfg, *quiet, *exportDir, *csvDir)
+		return runFleetMode(fleetOpts{
+			reps: *reps, parallel: *parallel, baseSeed: *seed,
+			buildCfg: buildCfg, baseCfg: cfg,
+			quiet: *quiet, exportDir: *exportDir, csvDir: *csvDir,
+			push: *push, pushID: *pushID,
+			progress: *progress, strictObs: *strictObs,
+		})
 	}
 	// Observability applies regardless of where the config came from. The
 	// span buffer is needed by any consumer of the event stream: trace
@@ -275,8 +286,32 @@ func run() error {
 		return f.Close()
 	}
 
+	// Observatory push: mount the pusher on the packet tap and snapshot
+	// sink (zero-perturbation seams only, so the run's bytes are identical
+	// with or without it) and stream to the daemon as the run progresses.
+	endTime := float64(cfg.Horizon + cfg.DrainTime)
+	var pusher *observatory.Pusher
+	if *push != "" {
+		largest, err := largestBatchCores(cfg)
+		if err != nil {
+			return err
+		}
+		pusher, err = observatory.Dial(*push, observatory.Hello{
+			Run: *pushID, Seed: cfg.Seed, LargestCores: largest,
+			EndTimeS: endTime, Source: "tgsim",
+		})
+		if err != nil {
+			return err
+		}
+		cfg.Observers = append(cfg.Observers, pusher.Observer(reg))
+		fmt.Fprintf(os.Stderr, "tgsim: pushing telemetry to %s as run %q\n", *push, pusher.RunID())
+	}
+
 	res, err := scenario.Run(cfg)
 	if err != nil {
+		if pusher != nil {
+			pusher.Abort()
+		}
 		return err
 	}
 	if proc != nil {
@@ -288,6 +323,10 @@ func run() error {
 			console.PublishJSON("/modalities", proc.ModalitiesJSON())
 			console.PublishJSON("/drift", proc.DriftJSON())
 		}
+	}
+	var pushFinishErr error
+	if pusher != nil {
+		pushFinishErr = pusher.Finish(endTime)
 	}
 	cl := core.NewClassifier(core.Config{LargestCores: res.LargestCores})
 	results := cl.Classify(res.Central)
@@ -331,10 +370,23 @@ func run() error {
 			}
 		}
 		if *strictObs && spans != nil && spans.Dropped() > 0 {
-			return fmt.Errorf("-strict-obs: span buffer dropped %d events", spans.Dropped())
+			return withCode(exitObsLoss,
+				fmt.Errorf("-strict-obs: span buffer dropped %d events", spans.Dropped()))
 		}
 		if *strictObs && proc != nil && proc.Dropped() > 0 {
-			return fmt.Errorf("-strict-obs: stream inbox dropped %d records (raise -stream-buf or use 0 for unbounded)", proc.Dropped())
+			return withCode(exitObsLoss,
+				fmt.Errorf("-strict-obs: stream inbox dropped %d records (raise -stream-buf or use 0 for unbounded)", proc.Dropped()))
+		}
+		if pusher != nil && (pushFinishErr != nil || pusher.Lossy()) {
+			st := pusher.Stats()
+			err := pushFinishErr
+			if err == nil {
+				err = fmt.Errorf("push lost %d packet frames", st.PacketsLost)
+			}
+			if *strictObs {
+				return withCode(exitObsLoss, fmt.Errorf("-strict-obs: daemon-side record incomplete: %w", err))
+			}
+			fmt.Fprintf(os.Stderr, "tgsim: WARNING: observatory push incomplete: %v\n", err)
 		}
 		return nil
 	}
@@ -559,42 +611,130 @@ func run() error {
 	return epilogue()
 }
 
+// fleetOpts carries the -reps mode configuration.
+type fleetOpts struct {
+	reps, parallel int
+	baseSeed       uint64
+	buildCfg       func(uint64) (scenario.Config, error)
+	// baseCfg is the already-built base-seed config; fleet-wide scenario
+	// shape (horizon, federation) is read from it.
+	baseCfg   scenario.Config
+	quiet     bool
+	exportDir string
+	csvDir    string
+	push      string
+	pushID    string
+	progress  bool
+	strictObs bool
+}
+
 // runFleetMode executes -reps replications in parallel and prints the
 // cross-replication tables: fleet summary, per-modality usage with 95%
-// confidence intervals, and per-mechanism usage with CIs.
-func runFleetMode(reps, parallel int, baseSeed uint64,
-	buildCfg func(uint64) (scenario.Config, error), quiet bool, exportDir, csvDir string) error {
+// confidence intervals, and per-mechanism usage with CIs. With -progress
+// each replication streams per-worker progress lines; with -push every
+// replication is pushed to the observatory daemon as its own run.
+func runFleetMode(o fleetOpts) error {
 	// Validate the configuration once, eagerly, so flag errors surface
 	// before N workers each trip over them.
-	if _, err := buildCfg(baseSeed); err != nil {
+	if _, err := o.buildCfg(o.baseSeed); err != nil {
 		return err
 	}
-	res, err := fleet.Run(fleet.Spec{
-		Reps:     reps,
-		Parallel: parallel,
-		BaseSeed: baseSeed,
+	endTime := float64(o.baseCfg.Horizon + o.baseCfg.DrainTime)
+	largest, lerr := largestBatchCores(o.baseCfg)
+	if lerr != nil {
+		return lerr
+	}
+	pushBase := o.pushID
+	if pushBase == "" {
+		pushBase = "fleet"
+	}
+	var (
+		pushMu  sync.Mutex
+		pushers []*observatory.Pusher
+		printer *fleetProgress
+	)
+	if o.progress {
+		printer = &fleetProgress{}
+	}
+	spec := fleet.Spec{
+		Reps:     o.reps,
+		Parallel: o.parallel,
+		BaseSeed: o.baseSeed,
 		Build: func(seed uint64) scenario.Config {
-			cfg, err := buildCfg(seed)
+			cfg, err := o.buildCfg(seed)
 			if err != nil {
 				panic(err) // validated above; the fleet reports a panic as the rep's error
 			}
 			return cfg
 		},
-	})
+	}
+	if o.progress || o.push != "" {
+		spec.Observe = func(rep int, seed uint64, reg *telemetry.Registry) []scenario.Observer {
+			var obs []scenario.Observer
+			// Progress first, pusher second: the pusher composes with (never
+			// replaces) an existing snapshot sink, so both see every snapshot.
+			if printer != nil {
+				obs = append(obs, scenario.StreamSnapshots(func(s *telemetry.Snapshot) {
+					printer.update(rep, seed, s)
+				}))
+			}
+			if o.push != "" {
+				p, err := observatory.Dial(o.push, observatory.Hello{
+					Run:  fmt.Sprintf("%s-r%02d", pushBase, rep),
+					Seed: seed, LargestCores: largest,
+					EndTimeS: endTime, Source: "fleet",
+				})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "tgsim: fleet rep %d: push: %v\n", rep, err)
+				} else {
+					pushMu.Lock()
+					pushers = append(pushers, p)
+					pushMu.Unlock()
+					obs = append(obs, p.Observer(reg))
+				}
+			}
+			return obs
+		}
+	}
+	res, err := fleet.Run(spec)
+	if printer != nil {
+		printer.finish()
+	}
+	// All replications are done; close every push and collect losses.
+	var pushLoss error
+	for _, p := range pushers {
+		if ferr := p.Finish(endTime); ferr != nil && pushLoss == nil {
+			pushLoss = ferr
+		} else if p.Lossy() && pushLoss == nil {
+			pushLoss = fmt.Errorf("run %s lost %d packet frames", p.RunID(), p.Stats().PacketsLost)
+		}
+	}
+	if o.push != "" && len(pushers) < o.reps && pushLoss == nil {
+		pushLoss = fmt.Errorf("%d of %d replications could not connect", o.reps-len(pushers), o.reps)
+	}
 	if res == nil {
 		return err
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tgsim: fleet:", err)
+		err = withCode(exitFleetPartial,
+			fmt.Errorf("fleet: %d of %d replications failed", len(res.Reps)-res.Succeeded(), len(res.Reps)))
+	}
+	if pushLoss != nil {
+		if o.strictObs {
+			return withCode(exitObsLoss, fmt.Errorf("-strict-obs: daemon-side record incomplete: %w", pushLoss))
+		}
+		fmt.Fprintf(os.Stderr, "tgsim: WARNING: observatory push incomplete: %v\n", pushLoss)
 	}
 
-	if exportDir != "" {
-		if werr := regress.WriteRunDir(exportDir, res.Merged, nil, nil, nil); werr != nil {
+	if o.exportDir != "" {
+		if werr := regress.WriteRunDir(o.exportDir, res.Merged, nil, nil, nil); werr != nil {
 			return werr
 		}
-		fmt.Fprintf(os.Stderr, "tgsim: merged fleet metrics exported to %s\n", exportDir)
+		fmt.Fprintf(os.Stderr, "tgsim: merged fleet metrics exported to %s\n", o.exportDir)
 	}
 
+	quiet, csvDir := o.quiet, o.csvDir
 	if quiet {
 		fmt.Printf("reps=%d ok=%d workers=%d events=%d wall=%.3fs events_per_sec=%.0f\n",
 			len(res.Reps), res.Succeeded(), res.Workers,
@@ -630,16 +770,36 @@ func runFleetMode(reps, parallel int, baseSeed uint64,
 }
 
 // modalityTable renders a core modality report as the usage-by-modality
-// table. It is the single rendering path shared by live runs, -modality-out,
-// and -replay, so replay equivalence is checked over identical bytes.
+// table, delegating to the shared core rendering path so live runs,
+// -modality-out, -replay, and the observatory daemon's per-run reports
+// all compare identical bytes.
 func modalityTable(rep *core.Report) *report.Table {
-	mod := report.NewTable("Usage by measured modality",
-		"modality", "jobs", "NUs", "NU share", "accounts", "end users")
-	for _, row := range rep.Rows {
-		mod.AddRowf(string(row.Modality), row.Jobs, row.NUs,
-			report.Percent(row.NUs/rep.TotalNUs), row.AccountUsers, row.EndUsers)
+	return core.ModalityTable(rep)
+}
+
+// fleetProgress is the -reps -progress printer: replication snapshots
+// arrive concurrently from worker goroutines, the latest one overwrites a
+// single live status line, and each replication's completion is printed
+// on its own line.
+type fleetProgress struct {
+	mu sync.Mutex
+}
+
+func (fp *fleetProgress) update(rep int, seed uint64, s *telemetry.Snapshot) {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	if s.Done {
+		fmt.Fprintf(os.Stderr, "\r\x1b[K[rep %02d seed %d] %s\n", rep, seed, s.Line())
+		return
 	}
-	return mod
+	fmt.Fprintf(os.Stderr, "\r\x1b[K[rep %02d seed %d] %s", rep, seed, s.Line())
+}
+
+// finish clears any partial status line once the fleet is done.
+func (fp *fleetProgress) finish() {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	fmt.Fprintf(os.Stderr, "\r\x1b[K")
 }
 
 // largestBatchCores resolves the classifier's capability threshold (the

@@ -70,6 +70,15 @@ type Spec struct {
 	// scalars (fault stats, goodput) without paying for KeepResults.
 	// Inspect runs on the worker goroutine and must not touch shared state.
 	Inspect func(seed uint64, res *scenario.Result) any
+	// Observe, when non-nil, supplies extra per-replication observers —
+	// live progress taps, observatory pushers. It runs on the worker
+	// goroutine before the replication starts; the observers it returns
+	// are attached before the fleet's own LiveTelemetry registry (which
+	// must stay last to win the attachment's last-writer rule). reg is
+	// the replication's private registry. Observers must mount only on
+	// zero-perturbation seams so fleets stay byte-identical with or
+	// without observation.
+	Observe func(rep int, seed uint64, reg *telemetry.Registry) []scenario.Observer
 }
 
 // Rep is the outcome of one replication.
@@ -186,6 +195,9 @@ func runRep(spec *Spec, i int, rep *Rep) {
 	cfg := spec.Build(rep.Seed)
 	cfg.Seed = rep.Seed
 	reg := telemetry.New()
+	if spec.Observe != nil {
+		cfg.Observers = append(cfg.Observers, spec.Observe(i, rep.Seed, reg)...)
+	}
 	cfg.Observers = append(cfg.Observers, scenario.LiveTelemetry(reg))
 
 	start := time.Now()

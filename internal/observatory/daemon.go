@@ -1,0 +1,481 @@
+package observatory
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/tgsim/tgmod/internal/accounting"
+	"github.com/tgsim/tgmod/internal/core"
+	"github.com/tgsim/tgmod/internal/des"
+	"github.com/tgsim/tgmod/internal/stream"
+	"github.com/tgsim/tgmod/internal/telemetry"
+)
+
+// Config parameterizes a Daemon.
+type Config struct {
+	// InboxCap bounds each run's streaming ingest inbox (0 = unbounded).
+	// Overflow is dropped and counted per run (tg_obsd_dropped_total).
+	InboxCap int
+	// FinalDir, when set, receives per-run final artifacts as each run
+	// finalizes: <id>.modality.txt (the byte-exact usage-by-modality
+	// table) and <id>.modalities.json (the final /modalities payload).
+	FinalDir string
+	// Log receives connection lifecycle lines; nil silences them.
+	Log *log.Logger
+}
+
+// Daemon is the multi-run observatory: it accepts pushed telemetry on any
+// number of listeners, maintains one streaming processor and one
+// accounting database per connected run, and serves the federated console
+// (see ServeHTTP in http.go).
+//
+// Concurrency model: each connection is one run and is handled by one
+// goroutine, which owns that run's processor, registry, and accounting
+// database outright — the same single-writer discipline the in-process
+// observatory uses. Everything the HTTP side serves is an immutable
+// payload published through an atomic pointer by the owning goroutine.
+// The daemon's own bookkeeping is plain atomics folded into a fresh
+// registry at scrape time, so ingest and scrape never contend.
+type Daemon struct {
+	cfg Config
+
+	mu   sync.Mutex
+	runs map[string]*runState
+	seq  int
+
+	listeners []net.Listener
+	lnWG      sync.WaitGroup
+	closed    atomic.Bool
+
+	httpSrv *http.Server // console server lifecycle; see http.go
+
+	// Meta-observability counters (tg_obsd_*).
+	connections  atomic.Uint64
+	disconnects  atomic.Uint64
+	reconnects   atomic.Uint64
+	decodeErrors atomic.Uint64
+	bytesIn      atomic.Uint64
+	framePackets atomic.Uint64
+	frameSnaps   atomic.Uint64
+	frameMetrics atomic.Uint64
+	frameFinals  atomic.Uint64
+}
+
+// runState is one run's slice of the daemon. The fields below the
+// "owned" marker are touched only by the run's connection goroutine;
+// the atomic publications are what the HTTP side reads.
+type runState struct {
+	ID       string
+	Seed     uint64
+	Largest  int
+	Source   string
+	EndTimeS float64
+
+	// Owned by the connection goroutine.
+	proc    *stream.Processor
+	central *accounting.Central
+	reg     *telemetry.Registry
+
+	// Published (immutable payloads; HTTP loads the pointers).
+	lastSnap   atomic.Pointer[telemetry.Snapshot]
+	modalities atomic.Pointer[[]byte]
+	drift      atomic.Pointer[[]byte]
+	metricsOM  atomic.Pointer[[]byte] // producer-pushed exposition
+	streamOM   atomic.Pointer[[]byte] // daemon-side per-run tg_stream_*/tg_drift_*
+	report     atomic.Pointer[[]byte] // final usage-by-modality table text
+	modPayload atomic.Pointer[stream.ModalitiesPayload]
+	dftPayload atomic.Pointer[stream.DriftPayload]
+	streamSnap atomic.Pointer[telemetry.StreamSnap]
+
+	// Shared bookkeeping.
+	connected    atomic.Bool
+	finalized    atomic.Bool
+	reconnects   atomic.Uint64
+	frames       atomic.Uint64
+	bytes        atomic.Uint64
+	packets      atomic.Uint64
+	lastFrameUNS atomic.Int64 // unix nanos of the last frame received
+
+	lastPublish time.Time // owned by the connection goroutine
+}
+
+// NewDaemon returns a daemon ready to accept listeners.
+func NewDaemon(cfg Config) *Daemon {
+	return &Daemon{cfg: cfg, runs: make(map[string]*runState)}
+}
+
+// logf writes a lifecycle line when logging is configured.
+func (d *Daemon) logf(format string, args ...any) {
+	if d.cfg.Log != nil {
+		d.cfg.Log.Printf(format, args...)
+	}
+}
+
+// ListenIngest starts accepting push connections on addr ("host:port" for
+// TCP, "unix:PATH" or a path containing "/" for a Unix socket) and
+// returns the bound address. Call Close to stop every listener.
+func (d *Daemon) ListenIngest(addr string) (string, error) {
+	network, target := splitPushAddr(addr)
+	if network == "unix" {
+		// A stale socket file from a previous daemon blocks the bind.
+		os.Remove(target)
+	}
+	ln, err := net.Listen(network, target)
+	if err != nil {
+		return "", err
+	}
+	d.mu.Lock()
+	d.listeners = append(d.listeners, ln)
+	d.mu.Unlock()
+	d.lnWG.Add(1)
+	go d.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (d *Daemon) acceptLoop(ln net.Listener) {
+	defer d.lnWG.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go d.handleConn(conn)
+	}
+}
+
+// Close stops all listeners and the HTTP console. In-flight runs keep
+// their published state; their connections are closed by their peers.
+func (d *Daemon) Close() error {
+	if d.closed.Swap(true) {
+		return nil
+	}
+	d.mu.Lock()
+	lns := d.listeners
+	d.listeners = nil
+	srv := d.httpSrv
+	d.httpSrv = nil
+	d.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+		if ua, ok := ln.Addr().(*net.UnixAddr); ok {
+			os.Remove(ua.Name)
+		}
+	}
+	d.lnWG.Wait()
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return srv.Close()
+		}
+	}
+	return nil
+}
+
+// register resolves a hello into a run state: a fresh run, a reconnect to
+// a disconnected run of the same ID, or a uniquified ID when the
+// requested one is still live.
+func (d *Daemon) register(h *Hello) (*runState, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.seq++
+	id := h.Run
+	if id == "" {
+		id = fmt.Sprintf("run-%d", d.seq)
+	}
+	if rs, ok := d.runs[id]; ok {
+		if !rs.connected.Load() && !rs.finalized.Load() && rs.Seed == h.Seed {
+			// Same run coming back after a broken connection: resume its
+			// processor and database where they left off.
+			rs.connected.Store(true)
+			rs.reconnects.Add(1)
+			d.reconnects.Add(1)
+			return rs, true
+		}
+		base := id
+		for n := 2; ; n++ {
+			id = fmt.Sprintf("%s#%d", base, n)
+			if _, taken := d.runs[id]; !taken {
+				break
+			}
+		}
+	}
+	rs := &runState{
+		ID: id, Seed: h.Seed, Largest: h.LargestCores,
+		Source: h.Source, EndTimeS: h.EndTimeS,
+		central: accounting.NewCentral(),
+		reg:     telemetry.New(),
+	}
+	rs.proc = stream.New(stream.Config{
+		LargestCores: h.LargestCores,
+		InboxCap:     d.cfg.InboxCap,
+		Registry:     rs.reg,
+	})
+	rs.connected.Store(true)
+	d.runs[id] = rs
+	return rs, false
+}
+
+// handleConn services one push connection end to end.
+func (d *Daemon) handleConn(conn net.Conn) {
+	defer conn.Close()
+	d.connections.Add(1)
+	br := newCountingReader(conn, &d.bytesIn)
+
+	if err := readMagic(br); err != nil {
+		d.decodeErrors.Add(1)
+		d.logf("tgobsd: %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	typ, payload, err := readFrame(br)
+	if err != nil || typ != frameHello {
+		d.decodeErrors.Add(1)
+		d.logf("tgobsd: %s: want hello, got %v", conn.RemoteAddr(), err)
+		return
+	}
+	var h Hello
+	if err := unmarshalStrictless(payload, &h); err != nil {
+		d.decodeErrors.Add(1)
+		d.logf("tgobsd: %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	rs, resumed := d.register(&h)
+	defer func() {
+		rs.connected.Store(false)
+		d.disconnects.Add(1)
+		d.logf("tgobsd: run %s disconnected (%d frames, %d bytes)",
+			rs.ID, rs.frames.Load(), rs.bytes.Load())
+	}()
+	if err := writeFrame(conn, frameHelloAck, marshalJSON(&helloAck{Run: rs.ID})); err != nil {
+		return
+	}
+	verb := "connected"
+	if resumed {
+		verb = "reconnected"
+	}
+	d.logf("tgobsd: run %s %s from %s (seed %d, source %q)",
+		rs.ID, verb, conn.RemoteAddr(), rs.Seed, rs.Source)
+
+	for {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			if err != io.EOF {
+				d.decodeErrors.Add(1)
+				d.logf("tgobsd: run %s: %v", rs.ID, err)
+			}
+			rs.publish(true)
+			return
+		}
+		rs.frames.Add(1)
+		rs.bytes.Add(uint64(len(payload)))
+		rs.lastFrameUNS.Store(time.Now().UnixNano())
+		if err := d.applyFrame(rs, conn, typ, payload); err != nil {
+			d.decodeErrors.Add(1)
+			d.logf("tgobsd: run %s: %v", rs.ID, err)
+			rs.publish(true)
+			return
+		}
+	}
+}
+
+// applyFrame applies one decoded frame to the run. It runs on the run's
+// connection goroutine, the sole owner of the run's mutable state.
+func (d *Daemon) applyFrame(rs *runState, conn net.Conn, typ byte, payload []byte) error {
+	switch typ {
+	case framePacket:
+		d.framePackets.Add(1)
+		rs.packets.Add(1)
+		at, pkt, err := decodePacketFrame(payload)
+		if err != nil {
+			return err
+		}
+		// Ingest in arrival order — exactly the producer's flush order —
+		// so the final classification walks the same records in the same
+		// sequence the producer's own database holds.
+		if err := rs.central.Ingest(pkt); err != nil {
+			return err
+		}
+		rs.proc.OfferPacket(des.Time(at), pkt)
+		rs.publish(false)
+	case frameSnapshot:
+		d.frameSnaps.Add(1)
+		s := &telemetry.Snapshot{}
+		if err := unmarshalStrictless(payload, s); err != nil {
+			return err
+		}
+		rs.lastSnap.Store(s)
+	case frameMetrics:
+		d.frameMetrics.Add(1)
+		om := append([]byte(nil), payload...)
+		rs.metricsOM.Store(&om)
+	case frameFinal:
+		d.frameFinals.Add(1)
+		end, err := decodeFinalFrame(payload)
+		if err != nil {
+			return err
+		}
+		if err := d.finalizeRun(rs, end); err != nil {
+			return err
+		}
+		return writeFrame(conn, frameFinalAck, nil)
+	default:
+		return fmt.Errorf("%w: unknown frame type %q", ErrBadFrame, typ)
+	}
+	return nil
+}
+
+// publishMinWall throttles mid-run payload publication; finals always
+// publish.
+const publishMinWall = 100 * time.Millisecond
+
+// publish renders and publishes the run's live payloads. Runs on the
+// connection goroutine.
+func (rs *runState) publish(force bool) {
+	now := time.Now()
+	if !force && now.Sub(rs.lastPublish) < publishMinWall {
+		return
+	}
+	rs.lastPublish = now
+	mp := rs.proc.Modalities()
+	dp := rs.proc.Drift()
+	mj := stream.MarshalPayload(mp)
+	dj := stream.MarshalPayload(dp)
+	rs.modalities.Store(&mj)
+	rs.drift.Store(&dj)
+	rs.modPayload.Store(mp)
+	rs.dftPayload.Store(dp)
+	snap := rs.proc.Snap()
+	rs.streamSnap.Store(&snap)
+	var buf bytes.Buffer
+	if err := rs.reg.WriteOpenMetrics(&buf); err == nil {
+		om := buf.Bytes()
+		rs.streamOM.Store(&om)
+	}
+}
+
+// finalizeRun closes a run: the stream clock advances to the announced
+// end (expiring trailing windows exactly where the producer's run ended),
+// the final payloads are published, and the byte-exact usage-by-modality
+// report is built by classifying the arrival-order accounting database
+// with the unchanged batch classifier — the same code path, over the same
+// records in the same order, as the producer's own report.
+func (d *Daemon) finalizeRun(rs *runState, end float64) error {
+	if end <= 0 {
+		end = rs.EndTimeS
+	}
+	if end > 0 {
+		rs.proc.Advance(des.Time(end))
+	}
+	cl := core.NewClassifier(core.Config{LargestCores: rs.Largest})
+	rep := core.BuildReport(rs.central, cl.Classify(rs.central))
+	var buf bytes.Buffer
+	if err := core.ModalityTable(rep).WriteText(&buf); err != nil {
+		return err
+	}
+	report := buf.Bytes()
+	rs.report.Store(&report)
+	rs.publish(true)
+	rs.finalized.Store(true)
+	d.logf("tgobsd: run %s finalized (%d jobs, %d packets)",
+		rs.ID, len(rs.central.Jobs()), rs.packets.Load())
+	if d.cfg.FinalDir != "" {
+		if err := os.MkdirAll(d.cfg.FinalDir, 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(d.cfg.FinalDir, rs.ID+".modality.txt"), report, 0o644); err != nil {
+			return err
+		}
+		if mj := rs.modalities.Load(); mj != nil {
+			if err := os.WriteFile(filepath.Join(d.cfg.FinalDir, rs.ID+".modalities.json"), *mj, 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runList returns the run states sorted by ID — the deterministic order
+// every federated view and listing uses.
+func (d *Daemon) runList() []*runState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]*runState, 0, len(d.runs))
+	for _, rs := range d.runs {
+		out = append(out, rs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Run returns the state for one run ID (nil when unknown).
+func (d *Daemon) run(id string) *runState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.runs[id]
+}
+
+// RunReport returns a finalized run's usage-by-modality table text
+// (nil until the run's final frame has been processed).
+func (d *Daemon) RunReport(id string) []byte {
+	rs := d.run(id)
+	if rs == nil {
+		return nil
+	}
+	if p := rs.report.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// RunCentralExport writes a run's arrival-order accounting database in
+// the JSON-lines export format (what tgsim -export writes as acct.jsonl),
+// so daemon-side records can be diffed against producer exports.
+func (d *Daemon) RunCentralExport(id string, w io.Writer) error {
+	rs := d.run(id)
+	if rs == nil {
+		return fmt.Errorf("observatory: unknown run %q", id)
+	}
+	if !rs.finalized.Load() {
+		return fmt.Errorf("observatory: run %q not finalized", id)
+	}
+	// Safe: after finalize the owning goroutine no longer mutates the
+	// database (any reconnect with the same ID is uniquified away).
+	return rs.central.Export(w)
+}
+
+// RunIDs returns the known run IDs, sorted.
+func (d *Daemon) RunIDs() []string {
+	runs := d.runList()
+	out := make([]string, len(runs))
+	for i, rs := range runs {
+		out[i] = rs.ID
+	}
+	return out
+}
+
+// countingReader counts bytes into an atomic as they are read.
+type countingReader struct {
+	r io.Reader
+	n *atomic.Uint64
+}
+
+func newCountingReader(r io.Reader, n *atomic.Uint64) *countingReader {
+	return &countingReader{r: r, n: n}
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(uint64(n))
+	return n, err
+}

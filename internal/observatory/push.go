@@ -1,0 +1,287 @@
+package observatory
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/tgsim/tgmod/internal/accounting"
+	"github.com/tgsim/tgmod/internal/des"
+	"github.com/tgsim/tgmod/internal/scenario"
+	"github.com/tgsim/tgmod/internal/telemetry"
+)
+
+// Pusher streams a run's telemetry to an observatory daemon. It mounts on
+// the same zero-perturbation seams the in-process observatory uses — the
+// accounting packet tap and the snapshot sink — so attaching it never
+// schedules a kernel event and same-seed runs stay byte-identical with or
+// without -push.
+//
+// Flow control: frames pass through a bounded outbox drained by a writer
+// goroutine. Packet frames are never dropped — when the outbox is full
+// the simulation goroutine blocks until the writer catches up (wall-clock
+// backpressure only; virtual time is untouched), which is what lets the
+// daemon's rebuilt accounting database byte-match the producer's.
+// Snapshot and metrics frames are progress conflation: when the outbox is
+// full they are dropped and counted, never blocking the run.
+//
+// A wire error marks the pusher broken: subsequent packet frames are
+// counted as lost (PacketsLost) instead of blocking forever, and Finish
+// reports the error. tgsim -strict-obs turns a broken push into a
+// non-zero exit, because the daemon-side record is then incomplete.
+type Pusher struct {
+	conn net.Conn
+	run  string // daemon-assigned run ID
+
+	out    chan outFrame
+	wg     sync.WaitGroup
+	errVal atomic.Pointer[pushErr]
+
+	packets      atomic.Uint64
+	packetsLost  atomic.Uint64
+	snaps        atomic.Uint64
+	snapsDropped atomic.Uint64
+	metrics      atomic.Uint64
+	bytes        atomic.Uint64
+	finished     bool
+}
+
+type outFrame struct {
+	typ     byte
+	payload []byte
+}
+
+// pushErr boxes the first wire error (atomic.Pointer needs a concrete type).
+type pushErr struct{ err error }
+
+// PushStats summarizes what a pusher shipped (and lost).
+type PushStats struct {
+	Packets      uint64 // packet frames delivered to the writer
+	PacketsLost  uint64 // packet frames discarded after a wire error
+	Snapshots    uint64 // snapshot frames enqueued
+	SnapsDropped uint64 // snapshot/metrics frames conflated away (outbox full)
+	Metrics      uint64 // metrics frames enqueued
+	Bytes        uint64 // payload bytes written to the wire
+}
+
+// pushOutbox is the outbox depth. Packet frames block (never drop) when
+// it fills, so it only bounds memory, not fidelity.
+const pushOutbox = 256
+
+// handshakeTimeout bounds the hello and final acks so a wedged daemon
+// cannot hang a producer forever.
+const handshakeTimeout = 30 * time.Second
+
+// DialTimeout is the connect timeout for Dial.
+const DialTimeout = 10 * time.Second
+
+// splitPushAddr resolves an observatory address: "unix:PATH" or a path
+// containing a slash dials a Unix socket, anything else TCP.
+func splitPushAddr(addr string) (network, target string) {
+	if rest, ok := strings.CutPrefix(addr, "unix:"); ok {
+		return "unix", rest
+	}
+	if strings.Contains(addr, "/") {
+		return "unix", addr
+	}
+	return "tcp", addr
+}
+
+// Dial connects to an observatory daemon, performs the hello handshake,
+// and returns a pusher ready to attach to a run. The returned pusher's
+// RunID is the daemon-assigned (possibly uniquified) identity.
+func Dial(addr string, h Hello) (*Pusher, error) {
+	network, target := splitPushAddr(addr)
+	conn, err := net.DialTimeout(network, target, DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("observatory: dial %s: %w", addr, err)
+	}
+	h.Schema = helloSchema
+	deadline := time.Now().Add(handshakeTimeout)
+	conn.SetDeadline(deadline)
+	if _, err := conn.Write([]byte(wireMagicStr)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("observatory: handshake: %w", err)
+	}
+	if err := writeFrame(conn, frameHello, marshalJSON(&h)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("observatory: handshake: %w", err)
+	}
+	typ, payload, err := readFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("observatory: hello ack: %w", err)
+	}
+	if typ != frameHelloAck {
+		conn.Close()
+		return nil, fmt.Errorf("%w: want hello ack, got frame %q", ErrBadFrame, typ)
+	}
+	var ack helloAck
+	if err := unmarshalStrictless(payload, &ack); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("observatory: hello ack: %w", err)
+	}
+	conn.SetDeadline(time.Time{})
+
+	p := &Pusher{conn: conn, run: ack.Run, out: make(chan outFrame, pushOutbox)}
+	p.wg.Add(1)
+	go p.writer()
+	return p, nil
+}
+
+// RunID returns the daemon-assigned run identity.
+func (p *Pusher) RunID() string { return p.run }
+
+// Err returns the first wire error, if any.
+func (p *Pusher) Err() error {
+	if e := p.errVal.Load(); e != nil {
+		return e.err
+	}
+	return nil
+}
+
+// Stats returns delivery counters.
+func (p *Pusher) Stats() PushStats {
+	return PushStats{
+		Packets:      p.packets.Load(),
+		PacketsLost:  p.packetsLost.Load(),
+		Snapshots:    p.snaps.Load(),
+		SnapsDropped: p.snapsDropped.Load(),
+		Metrics:      p.metrics.Load(),
+		Bytes:        p.bytes.Load(),
+	}
+}
+
+// Lossy reports whether the daemon-side view of this run is incomplete:
+// the wire broke, or packet frames were discarded.
+func (p *Pusher) Lossy() bool {
+	return p.Err() != nil || p.packetsLost.Load() > 0
+}
+
+// writer drains the outbox onto the wire. After the first error it keeps
+// draining (so blocking senders never deadlock) but discards frames.
+func (p *Pusher) writer() {
+	defer p.wg.Done()
+	for f := range p.out {
+		if p.Err() != nil {
+			if f.typ == framePacket {
+				p.packetsLost.Add(1)
+			}
+			continue
+		}
+		if err := writeFrame(p.conn, f.typ, f.payload); err != nil {
+			p.errVal.CompareAndSwap(nil, &pushErr{err: err})
+			if f.typ == framePacket {
+				p.packetsLost.Add(1)
+			}
+			continue
+		}
+		p.bytes.Add(uint64(len(f.payload)))
+	}
+}
+
+// Observer returns the scenario observer that mounts the pusher on a run:
+// every flushed accounting packet is re-encoded with the accounting wire
+// codec and shipped, and every progress snapshot is shipped (conflated
+// under backpressure) together with the registry's OpenMetrics exposition
+// when reg is non-nil. The observer composes with any snapshot sink that
+// is already attached instead of replacing it.
+func (p *Pusher) Observer(reg *telemetry.Registry) scenario.Observer {
+	return scenario.ObserverFunc(func(a *scenario.Attachment) {
+		a.Packets = append(a.Packets, func(at des.Time, pkt *accounting.Packet) {
+			payload, err := encodePacketFrame(float64(at), pkt)
+			if err != nil {
+				p.errVal.CompareAndSwap(nil, &pushErr{err: err})
+				p.packetsLost.Add(1)
+				return
+			}
+			p.sendBlocking(framePacket, payload)
+		})
+		prev := a.Snapshots
+		a.Snapshots = func(s *telemetry.Snapshot) {
+			if prev != nil {
+				prev(s)
+			}
+			p.snaps.Add(1)
+			p.sendDroppable(frameSnapshot, marshalJSON(s))
+			if reg != nil {
+				var buf bytes.Buffer
+				if err := reg.WriteOpenMetrics(&buf); err == nil {
+					p.metrics.Add(1)
+					p.sendDroppable(frameMetrics, buf.Bytes())
+				}
+			}
+		}
+	})
+}
+
+// sendBlocking enqueues a frame, waiting for outbox space. Packet frames
+// use it: fidelity over wall-clock speed. Once broken, frames are counted
+// as lost instead of enqueued.
+func (p *Pusher) sendBlocking(typ byte, payload []byte) {
+	if p.Err() != nil {
+		if typ == framePacket {
+			p.packetsLost.Add(1)
+		}
+		return
+	}
+	if typ == framePacket {
+		p.packets.Add(1)
+	}
+	p.out <- outFrame{typ: typ, payload: payload}
+}
+
+// sendDroppable enqueues a frame if there is room, dropping (and
+// counting) it otherwise. Snapshots and metrics use it: they are
+// progress conflation, not records.
+func (p *Pusher) sendDroppable(typ byte, payload []byte) {
+	select {
+	case p.out <- outFrame{typ: typ, payload: payload}:
+	default:
+		p.snapsDropped.Add(1)
+	}
+}
+
+// Finish ends the push: it ships the final frame (end is the virtual time
+// the daemon advances the stream clock to — pass horizon + drain), waits
+// for the writer to drain, waits for the daemon's final ack (the signal
+// that the daemon-side report is built and published), and closes the
+// connection. Call after scenario.Run returns, from the same goroutine
+// that drove the run. Safe to call once.
+func (p *Pusher) Finish(end float64) error {
+	if p.finished {
+		return p.Err()
+	}
+	p.finished = true
+	p.sendBlocking(frameFinal, encodeFinalFrame(end))
+	close(p.out)
+	p.wg.Wait()
+	defer p.conn.Close()
+	if err := p.Err(); err != nil {
+		return fmt.Errorf("observatory: push: %w", err)
+	}
+	p.conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	typ, _, err := readFrame(p.conn)
+	if err != nil {
+		return fmt.Errorf("observatory: final ack: %w", err)
+	}
+	if typ != frameFinalAck {
+		return fmt.Errorf("%w: want final ack, got frame %q", ErrBadFrame, typ)
+	}
+	return nil
+}
+
+// Abort closes the connection without the final handshake (for error
+// paths where the run never completed).
+func (p *Pusher) Abort() {
+	if !p.finished {
+		p.finished = true
+		close(p.out)
+		p.wg.Wait()
+	}
+	p.conn.Close()
+}

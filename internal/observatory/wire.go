@@ -1,0 +1,201 @@
+// Package observatory is the fleet-wide telemetry plane: a long-lived
+// daemon (cmd/tgobsd) that ingests telemetry pushed over TCP or Unix
+// sockets from any number of concurrent producers — single tgsim runs,
+// replication fleets, replays — and serves a unified multi-run console
+// with per-run drill-down and cross-run federation.
+//
+// The wire protocol is deliberately thin: one magic preamble per
+// connection, then length-prefixed frames. Accounting packets reuse the
+// binary accounting wire codec unchanged (the daemon decodes exactly the
+// bytes a site ledger flushes), progress snapshots and the hello handshake
+// are framed JSON, and metric expositions are framed OpenMetrics text.
+// Producer → daemon frames are hello, packet, snapshot, metrics, and
+// final; the daemon answers hello and final with acks so producers know
+// their assigned run ID and that the final report has been built.
+//
+// Determinism contract: the push client (Pusher) taps only the existing
+// zero-perturbation observer seams — the accounting packet tap and the
+// snapshot sink — and schedules no kernel events, so a run with -push
+// attached is byte-identical to the same seed without it. The daemon
+// rebuilds each run's accounting database by ingesting pushed packets in
+// arrival order (TCP preserves the producer's flush order), so its final
+// per-run modality report byte-matches the producer's own.
+package observatory
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/tgsim/tgmod/internal/accounting"
+)
+
+// ErrBadFrame is the typed error every malformed-frame failure wraps:
+// bad magic, unknown frame type, oversized or truncated payloads.
+// Match with errors.Is(err, ErrBadFrame).
+var ErrBadFrame = errors.New("observatory: bad frame")
+
+// wireMagicStr brands a push connection; the four bytes arrive before the
+// first frame. The trailing digit is the protocol revision.
+const wireMagicStr = "TGO1"
+
+// Frame types. Producer → daemon: hello, packet, snapshot, metrics,
+// final. Daemon → producer: helloAck (assigned run ID), finalAck (final
+// report built).
+const (
+	frameHello    = byte('H')
+	framePacket   = byte('P')
+	frameSnapshot = byte('S')
+	frameMetrics  = byte('M')
+	frameFinal    = byte('F')
+	frameHelloAck = byte('A')
+	frameFinalAck = byte('D')
+)
+
+// maxFramePayload bounds a single frame so a corrupt length prefix cannot
+// drive an unbounded allocation on either side of the wire.
+const maxFramePayload = 64 << 20
+
+// helloSchema is the handshake schema revision.
+const helloSchema = 1
+
+// Hello is the handshake a producer sends as its first frame: who the run
+// is, its seed, the classifier threshold, and where virtual time will end
+// (so the daemon can expire trailing windows exactly at finalize).
+type Hello struct {
+	Schema int `json:"schema"`
+	// Run is the requested run ID; the daemon uniquifies collisions and
+	// returns the assigned ID in the hello ack. Empty gets a generated ID.
+	Run string `json:"run"`
+	// Seed is the producer's scenario seed (shown on /runs).
+	Seed uint64 `json:"seed"`
+	// LargestCores is the classifier's capability threshold.
+	LargestCores int `json:"largest_cores"`
+	// EndTimeS is horizon + drain in virtual seconds (0 = unknown).
+	EndTimeS float64 `json:"end_time_s"`
+	// Source labels the producer kind: "tgsim", "fleet", "replay", ...
+	Source string `json:"source,omitempty"`
+}
+
+// helloAck is the daemon's answer to a hello.
+type helloAck struct {
+	Run string `json:"run"` // the assigned (possibly uniquified) run ID
+}
+
+// writeFrame writes one framed message: type byte, 4-byte big-endian
+// payload length, payload.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > maxFramePayload {
+		return fmt.Errorf("%w: %d-byte payload exceeds limit", ErrBadFrame, len(payload))
+	}
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one framed message. io.EOF is returned clean (not
+// wrapped) when the connection closes between frames.
+func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("%w: truncated header: %v", ErrBadFrame, err)
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > maxFramePayload {
+		return 0, nil, fmt.Errorf("%w: %d-byte payload exceeds limit", ErrBadFrame, n)
+	}
+	if n > 0 {
+		payload = make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return 0, nil, fmt.Errorf("%w: truncated payload: %v", ErrBadFrame, err)
+		}
+	}
+	return hdr[0], payload, nil
+}
+
+// readMagic consumes and checks the connection preamble.
+func readMagic(r io.Reader) error {
+	var m [4]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		return fmt.Errorf("%w: missing magic: %v", ErrBadFrame, err)
+	}
+	if string(m[:]) != wireMagicStr {
+		return fmt.Errorf("%w: bad magic %q", ErrBadFrame, m)
+	}
+	return nil
+}
+
+// encodePacketFrame builds a packet-frame payload: the flush virtual time
+// (8 bytes, little-endian float64 bits) followed by the accounting wire
+// encoding — the same bytes the simulated AMIE wire carries.
+func encodePacketFrame(at float64, pkt *accounting.Packet) ([]byte, error) {
+	wire, err := pkt.Encode()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 8, 8+len(wire))
+	binary.LittleEndian.PutUint64(out, math.Float64bits(at))
+	return append(out, wire...), nil
+}
+
+// decodePacketFrame parses a packet-frame payload.
+func decodePacketFrame(payload []byte) (at float64, pkt *accounting.Packet, err error) {
+	if len(payload) < 8 {
+		return 0, nil, fmt.Errorf("%w: short packet frame", ErrBadFrame)
+	}
+	at = math.Float64frombits(binary.LittleEndian.Uint64(payload))
+	pkt, err = accounting.DecodePacket(payload[8:])
+	if err != nil {
+		return 0, nil, err
+	}
+	return at, pkt, nil
+}
+
+// encodeFinalFrame builds a final-frame payload: the end-of-run virtual
+// time the daemon advances the stream clock to before finalizing.
+func encodeFinalFrame(end float64) []byte {
+	var out [8]byte
+	binary.LittleEndian.PutUint64(out[:], math.Float64bits(end))
+	return out[:]
+}
+
+// decodeFinalFrame parses a final-frame payload.
+func decodeFinalFrame(payload []byte) (float64, error) {
+	if len(payload) != 8 {
+		return 0, fmt.Errorf("%w: final frame wants 8 bytes, got %d", ErrBadFrame, len(payload))
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(payload)), nil
+}
+
+// marshalJSON marshals a handshake or snapshot value; the types involved
+// contain no unmarshalable values, so failure is a programming error.
+func marshalJSON(v any) []byte {
+	data, err := json.Marshal(v)
+	if err != nil {
+		panic("observatory: marshal: " + err.Error())
+	}
+	return data
+}
+
+// unmarshalStrictless decodes a JSON frame payload, wrapping failures as
+// bad frames (unknown fields are tolerated for forward compatibility).
+func unmarshalStrictless(payload []byte, v any) error {
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	return nil
+}

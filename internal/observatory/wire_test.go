@@ -1,0 +1,121 @@
+package observatory
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"github.com/tgsim/tgmod/internal/accounting"
+)
+
+// TestFrameRoundTrip: every frame type survives write → read unchanged.
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := map[byte][]byte{
+		frameHello:    []byte(`{"schema":1,"run":"a","seed":7}`),
+		framePacket:   {1, 2, 3, 4, 5, 6, 7, 8, 9},
+		frameSnapshot: []byte(`{"progress":0.5}`),
+		frameMetrics:  []byte("# EOF\n"),
+		frameFinal:    encodeFinalFrame(432000),
+		frameHelloAck: []byte(`{"run":"a"}`),
+		frameFinalAck: nil,
+	}
+	order := []byte{frameHello, framePacket, frameSnapshot, frameMetrics, frameFinal, frameHelloAck, frameFinalAck}
+	for _, typ := range order {
+		if err := writeFrame(&buf, typ, payloads[typ]); err != nil {
+			t.Fatalf("write %q: %v", typ, err)
+		}
+	}
+	for _, want := range order {
+		typ, payload, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("read %q: %v", want, err)
+		}
+		if typ != want {
+			t.Fatalf("read type %q, want %q", typ, want)
+		}
+		if !bytes.Equal(payload, payloads[want]) {
+			t.Fatalf("frame %q payload mismatch", want)
+		}
+	}
+	if _, _, err := readFrame(&buf); err != io.EOF {
+		t.Fatalf("drained stream: want io.EOF, got %v", err)
+	}
+}
+
+// TestReadFrameRejectsOversize: a corrupt length prefix cannot drive an
+// unbounded allocation.
+func TestReadFrameRejectsOversize(t *testing.T) {
+	var hdr [5]byte
+	hdr[0] = framePacket
+	binary.BigEndian.PutUint32(hdr[1:], maxFramePayload+1)
+	_, _, err := readFrame(bytes.NewReader(hdr[:]))
+	if !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversize frame: want ErrBadFrame, got %v", err)
+	}
+}
+
+// TestReadFrameTruncated: a partial payload is a bad frame, not EOF.
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, frameSnapshot, []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, _, err := readFrame(bytes.NewReader(trunc)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("truncated frame: want ErrBadFrame, got %v", err)
+	}
+}
+
+// TestReadMagic: wrong preambles are rejected.
+func TestReadMagic(t *testing.T) {
+	if err := readMagic(bytes.NewReader([]byte(wireMagicStr))); err != nil {
+		t.Fatalf("good magic rejected: %v", err)
+	}
+	if err := readMagic(bytes.NewReader([]byte("NOPE"))); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("bad magic: want ErrBadFrame, got %v", err)
+	}
+	if err := readMagic(bytes.NewReader([]byte("TG"))); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("short magic: want ErrBadFrame, got %v", err)
+	}
+}
+
+// TestPacketFrameRoundTrip: the packet frame preserves both the flush
+// time and the accounting wire bytes exactly.
+func TestPacketFrameRoundTrip(t *testing.T) {
+	pkt := &accounting.Packet{Site: "ncsa-abe", Seq: 42}
+	pkt.Jobs = append(pkt.Jobs, accounting.JobRecord{
+		JobID: 1, User: "u1", Project: "TG-1", Site: "ncsa-abe",
+		Cores: 64, WallSeconds: 3600, NUs: 12.5,
+	})
+	payload, err := encodePacketFrame(86400.5, pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, got, err := decodePacketFrame(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at != 86400.5 {
+		t.Fatalf("at = %v, want 86400.5", at)
+	}
+	if got.Site != pkt.Site || got.Seq != pkt.Seq || len(got.Jobs) != 1 || got.Jobs[0].JobID != 1 {
+		t.Fatalf("packet did not round-trip: %+v", got)
+	}
+	if _, _, err := decodePacketFrame([]byte{1, 2, 3}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("short packet frame: want ErrBadFrame, got %v", err)
+	}
+}
+
+// TestFinalFrameRoundTrip: the end-of-run clock survives the frame.
+func TestFinalFrameRoundTrip(t *testing.T) {
+	end, err := decodeFinalFrame(encodeFinalFrame(432000))
+	if err != nil || end != 432000 {
+		t.Fatalf("final frame: got (%v, %v), want (432000, nil)", end, err)
+	}
+	if _, err := decodeFinalFrame([]byte{1}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("short final frame: want ErrBadFrame, got %v", err)
+	}
+}

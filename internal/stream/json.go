@@ -145,6 +145,14 @@ type DriftHistoryCell struct {
 	Disagree int64
 }
 
+// MarshalPayload renders a console payload (ModalitiesPayload,
+// DriftPayload, or a federated aggregate of them) with the console's
+// indentation style. Exported so the observatory daemon's per-run and
+// fleet documents are byte-compatible with the in-process console's.
+func MarshalPayload(v any) []byte {
+	return marshalPayload(v)
+}
+
 // marshalPayload renders a payload with the console's indentation style;
 // encoding/json output is deterministic for struct types.
 func marshalPayload(v any) []byte {
