@@ -24,7 +24,13 @@ import (
 // on a single-core host and recorded speedup 1.0 by construction).
 // v4 added the push section (observatory push overhead: events/s with the
 // run streaming to a local tgobsd vs. off).
-const benchSchemaVersion = 4
+// v5 records both fleet worker counts (workers_seq alongside workers),
+// measures the fleet and push legs with a warm-up run plus best-of-3
+// alternating legs (single-shot walls on a single-core host jitter ±20%
+// and once recorded a nonsense 0.81 "speedup" at width 1 — see
+// EXPERIMENTS.md), and adds kernel allocation/GC deltas (alloc_bytes,
+// gc_cycles).
+const benchSchemaVersion = 5
 
 // BenchRecord is one point on the performance trajectory: what was built
 // (git describe), how it was run (seed, scale, host), how fast the kernel
@@ -54,6 +60,11 @@ type BenchKernel struct {
 	EventsPerSec float64 `json:"events_per_sec"`
 	PeakFEL      int     `json:"peak_fel"`
 	JobsFinished int     `json:"jobs_finished"`
+	// AllocBytes and GCCycles are runtime.MemStats deltas across the timed
+	// run (v5+): allocation pressure is the usual cause of a throughput
+	// regression, so the trajectory records it next to events/s.
+	AllocBytes uint64 `json:"alloc_bytes"`
+	GCCycles   uint32 `json:"gc_cycles"`
 }
 
 // BenchFleet holds replication-fleet scaling figures: the same
@@ -65,17 +76,31 @@ type BenchKernel struct {
 // single-core host both runs are width 1 and the speedup honestly
 // measures ~1.
 type BenchFleet struct {
-	Reps           int     `json:"reps"`
+	Reps int `json:"reps"`
+	// Workers is the parallel leg's actual worker count; WorkersSeq (v5+)
+	// the sequential leg's (always 1). Recording both makes the speedup
+	// figure self-describing: on a single-core host 1→1 says up front that
+	// the "speedup" is a same-width control, not a scaling measurement.
 	Workers        int     `json:"workers"`
+	WorkersSeq     int     `json:"workers_seq"`
 	WallSeqSeconds float64 `json:"wall_seq_s"`
 	WallParSeconds float64 `json:"wall_par_s"`
 	Speedup        float64 `json:"speedup"`
 	EventsPerSec   float64 `json:"events_per_sec_aggregate"`
 }
 
-// measureFleet times the bench fleet sequentially and at workers=
-// GOMAXPROCS. Both walls come from dedicated runs (the FL experiment's
-// sweep table is rendered separately and shares no measurements).
+// measureFleet times the bench fleet sequentially (workers=1) and at the
+// host's full width (workers=GOMAXPROCS). Both walls come from dedicated
+// runs (the FL experiment's sweep table is rendered separately and shares
+// no measurements).
+//
+// v5 measurement protocol: one untimed warm-up fleet first (pages the
+// working set in and settles the allocator), then three alternating
+// seq/par leg pairs keeping each side's best wall. Single-shot cold walls
+// jitter ±20% on a loaded single-core host — schema v3/v4 records carry
+// width-1 "speedups" of 0.78–0.81 from exactly that, measured and
+// documented in EXPERIMENTS.md. Best-of-3 on both sides bounds the noise
+// symmetrically without hiding a real regression.
 func measureFleet(seed uint64, sc experiments.Scale) (*BenchFleet, error) {
 	reps := 8
 	if sc == experiments.Full {
@@ -95,23 +120,37 @@ func measureFleet(seed uint64, sc experiments.Scale) (*BenchFleet, error) {
 		}
 		return res, nil
 	}
-	seq, err := runAt(1)
-	if err != nil {
+	parWidth := runtime.GOMAXPROCS(0)
+	if _, err := runAt(parWidth); err != nil { // warm-up, never timed
 		return nil, err
 	}
-	par, err := runAt(runtime.GOMAXPROCS(0))
-	if err != nil {
-		return nil, err
+	var seqBest, parBest *fleet.Result
+	for leg := 0; leg < 3; leg++ {
+		seq, err := runAt(1)
+		if err != nil {
+			return nil, err
+		}
+		if seqBest == nil || seq.Wall < seqBest.Wall {
+			seqBest = seq
+		}
+		par, err := runAt(parWidth)
+		if err != nil {
+			return nil, err
+		}
+		if parBest == nil || par.Wall < parBest.Wall {
+			parBest = par
+		}
 	}
 	bf := &BenchFleet{
 		Reps:           reps,
-		Workers:        par.Workers,
-		WallSeqSeconds: seq.Wall,
-		WallParSeconds: par.Wall,
-		EventsPerSec:   par.EventsPerSec(),
+		Workers:        parBest.Workers,
+		WorkersSeq:     seqBest.Workers,
+		WallSeqSeconds: seqBest.Wall,
+		WallParSeconds: parBest.Wall,
+		EventsPerSec:   parBest.EventsPerSec(),
 	}
-	if par.Wall > 0 {
-		bf.Speedup = seq.Wall / par.Wall
+	if parBest.Wall > 0 {
+		bf.Speedup = seqBest.Wall / parBest.Wall
 	}
 	return bf, nil
 }
@@ -132,9 +171,13 @@ type BenchPush struct {
 }
 
 // measurePush times the standard scenario with and without a push to a
-// local in-process observatory daemon.
+// local in-process observatory daemon, under the same v5 protocol as the
+// fleet: one untimed warm-up, then three alternating plain/push leg pairs
+// keeping each side's best throughput. (The v4 single-shot protocol
+// recorded a 28.7% "overhead" that was mostly the plain leg running cold;
+// see EXPERIMENTS.md.)
 func measurePush(seed uint64, sc experiments.Scale) (*BenchPush, error) {
-	timed := func(push string) (float64, uint64, uint64, error) {
+	timed := func(push, runID string) (float64, uint64, uint64, error) {
 		cfg := experiments.StandardConfig(seed, sc)
 		var p *observatory.Pusher
 		if push != "" {
@@ -153,7 +196,7 @@ func measurePush(seed uint64, sc experiments.Scale) (*BenchPush, error) {
 			}
 			var err error
 			p, err = observatory.Dial(push, observatory.Hello{
-				Run: "bench", Seed: seed, LargestCores: largest,
+				Run: runID, Seed: seed, LargestCores: largest,
 				EndTimeS: float64(cfg.Horizon + cfg.DrainTime), Source: "benchtab",
 			})
 			if err != nil {
@@ -188,8 +231,7 @@ func measurePush(seed uint64, sc experiments.Scale) (*BenchPush, error) {
 		return eps, frames, bytes, nil
 	}
 
-	plainEPS, _, _, err := timed("")
-	if err != nil {
+	if _, _, _, err := timed("", ""); err != nil { // warm-up, never timed
 		return nil, err
 	}
 	d := observatory.NewDaemon(observatory.Config{})
@@ -198,36 +240,50 @@ func measurePush(seed uint64, sc experiments.Scale) (*BenchPush, error) {
 		return nil, err
 	}
 	defer d.Close()
-	pushEPS, frames, bytes, err := timed(addr)
-	if err != nil {
-		return nil, err
+	bp := &BenchPush{}
+	for leg := 0; leg < 3; leg++ {
+		plainEPS, _, _, err := timed("", "")
+		if err != nil {
+			return nil, err
+		}
+		if plainEPS > bp.EventsPerSecPlain {
+			bp.EventsPerSecPlain = plainEPS
+		}
+		pushEPS, frames, bytes, err := timed(addr, fmt.Sprintf("bench-%d", leg))
+		if err != nil {
+			return nil, err
+		}
+		if pushEPS > bp.EventsPerSecPush {
+			bp.EventsPerSecPush = pushEPS
+			bp.PacketFrames, bp.PushedBytes = frames, bytes
+		}
 	}
-	bp := &BenchPush{
-		EventsPerSecPlain: plainEPS,
-		EventsPerSecPush:  pushEPS,
-		PacketFrames:      frames,
-		PushedBytes:       bytes,
-	}
-	if plainEPS > 0 {
-		bp.OverheadPct = 100 * (1 - pushEPS/plainEPS)
+	if bp.EventsPerSecPlain > 0 {
+		bp.OverheadPct = 100 * (1 - bp.EventsPerSecPush/bp.EventsPerSecPlain)
 	}
 	return bp, nil
 }
 
-// measureKernel times the standard scenario and extracts kernel stats.
+// measureKernel times the standard scenario and extracts kernel stats,
+// including the run's allocation and GC-cycle deltas (v5).
 func measureKernel(seed uint64, sc experiments.Scale) (BenchKernel, error) {
 	cfg := experiments.StandardConfig(seed, sc)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	start := time.Now()
 	res, err := scenario.Run(cfg)
 	if err != nil {
 		return BenchKernel{}, err
 	}
 	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
 	k := BenchKernel{
 		Events:       res.Kernel.Executed(),
 		WallSeconds:  wall,
 		PeakFEL:      res.Kernel.MaxPending(),
 		JobsFinished: res.Finished,
+		AllocBytes:   after.TotalAlloc - before.TotalAlloc,
+		GCCycles:     after.NumGC - before.NumGC,
 	}
 	if wall > 0 {
 		k.EventsPerSec = float64(k.Events) / wall

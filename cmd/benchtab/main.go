@@ -7,15 +7,24 @@
 // Usage:
 //
 //	benchtab [-seed N] [-scale quick|full] [-only T3] [-progress] [-json PATH]
+//	benchtab -history [-bench-dir DIR]
+//	benchtab -gate CANDIDATE.json -baseline BASELINE.json [-tol-eps F] [-tol-speedup F]
 //
 // -progress prints one line per experiment to stderr (id and wall time)
 // without touching stdout, so piped table output stays clean. -json writes
 // a BENCH_*.json performance-trajectory record (see DESIGN.md for the
 // schema): per-experiment wall time plus kernel throughput on the standard
 // scenario, stamped with git describe, seed, and scale.
+//
+// -history parses every committed BENCH_*.json — all schema versions since
+// v2 — into one normalized trajectory table and lists noise-aware
+// regressions along it. -gate compares a freshly measured candidate record
+// against a committed baseline with explicit tolerances and exits 2 on a
+// regression (the CI perf gate). Both analysis modes run no experiments.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,11 +32,19 @@ import (
 	"time"
 
 	"github.com/tgsim/tgmod/internal/experiments"
+	"github.com/tgsim/tgmod/internal/perf"
 )
+
+// errGate marks a perf-gate failure; main maps it to exit code 2 so CI can
+// tell "performance regressed" from "benchtab broke".
+var errGate = errors.New("perf gate failed")
 
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		if errors.Is(err, errGate) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -38,7 +55,25 @@ func run() error {
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. T3,F4); empty = all")
 	progress := flag.Bool("progress", false, "print per-experiment progress to stderr")
 	jsonPath := flag.String("json", "", "write a BENCH_*.json perf record to this path")
+	history := flag.Bool("history", false, "parse committed BENCH_*.json records into the trajectory table and exit")
+	benchDir := flag.String("bench-dir", ".", "directory holding BENCH_*.json records (with -history)")
+	gatePath := flag.String("gate", "", "candidate BENCH record to gate against -baseline; exits 2 on regression")
+	basePath := flag.String("baseline", "", "committed baseline BENCH record (with -gate)")
+	tolEPS := flag.Float64("tol-eps", 0.30, "allowed fractional drop in kernel events/s before the gate fails")
+	tolSpeedup := flag.Float64("tol-speedup", 0.30, "allowed fractional drop in fleet speedup before the gate fails")
 	flag.Parse()
+
+	if *history {
+		return runHistory(*benchDir, *tolEPS)
+	}
+	if *gatePath != "" || *basePath != "" {
+		if *gatePath == "" || *basePath == "" {
+			return fmt.Errorf("-gate and -baseline go together")
+		}
+		return runGate(*gatePath, *basePath, perf.Tolerance{
+			EventsPSFrac: *tolEPS, SpeedupFrac: *tolSpeedup,
+		})
+	}
 
 	var sc experiments.Scale
 	switch *scaleFlag {
@@ -123,4 +158,50 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "benchtab: wrote perf record to %s\n", *jsonPath)
 	}
 	return nil
+}
+
+// runHistory renders the normalized bench trajectory across every schema
+// version and lists points that dipped below their noise-aware trailing
+// baseline. Detection is informational here — the record is already
+// committed; the hard stop is the -gate path, which fires before a commit.
+func runHistory(dir string, tolEPS float64) error {
+	points, err := perf.LoadBenchDir(dir)
+	if err != nil {
+		return err
+	}
+	if err := perf.TrajectoryTable(points).WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if regs := perf.DetectRegressions(points, tolEPS); len(regs) > 0 {
+		fmt.Println()
+		for _, r := range regs {
+			fmt.Printf("regression: %s\n", r)
+		}
+	}
+	return nil
+}
+
+// runGate compares a candidate record against the committed baseline and
+// fails (exit 2 via errGate) when any gated figure drops past tolerance.
+func runGate(candPath, basePath string, tol perf.Tolerance) error {
+	base, err := perf.LoadBenchFile(basePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	cand, err := perf.LoadBenchFile(candPath)
+	if err != nil {
+		return fmt.Errorf("candidate: %w", err)
+	}
+	viols := perf.Compare(base, cand, tol)
+	fmt.Printf("perf gate: %s (%.0f events/s) vs baseline %s (%.0f events/s), tolerance eps %.0f%% speedup %.0f%%\n",
+		cand.File, cand.EventsPS, base.File, base.EventsPS,
+		100*tol.EventsPSFrac, 100*tol.SpeedupFrac)
+	if len(viols) == 0 {
+		fmt.Println("perf gate: PASS")
+		return nil
+	}
+	for _, v := range viols {
+		fmt.Printf("perf gate: FAIL: %s\n", v)
+	}
+	return errGate
 }

@@ -37,6 +37,7 @@ func run(args []string) int {
 	httpAddr := fs.String("http", "127.0.0.1:9311", "console HTTP address")
 	streamBuf := fs.Int("stream-buf", 0, "per-run stream inbox capacity (0 = unbounded)")
 	finalOut := fs.String("final-out", "", "directory for per-run final artifacts (<id>.modality.txt, <id>.modalities.json)")
+	pprofFlag := fs.Bool("pprof", false, "mount the net/http/pprof endpoints on the console at /debug/pprof/")
 	merge := fs.Bool("merge", false, "offline mode: merge per-run modalities.json files named as args and print the fleet document")
 	quiet := fs.Bool("quiet", false, "suppress connection lifecycle logging")
 	if err := fs.Parse(args); err != nil {
@@ -58,6 +59,7 @@ func run(args []string) int {
 	d := observatory.NewDaemon(observatory.Config{
 		InboxCap: *streamBuf,
 		FinalDir: *finalOut,
+		Pprof:    *pprofFlag,
 		Log:      logger,
 	})
 	ingest, err := d.ListenIngest(*listen)

@@ -11,6 +11,7 @@
 //	      [-faults X] [-mtbf DAYS] [-checkpoint MINUTES]
 //	      [-chrome-trace t.json] [-obs-jsonl t.jsonl] [-obs-csv DIR]
 //	      [-obs-sample-hours H] [-obs-max-events N] [-strict-obs] [-profile]
+//	      [-cpuprofile f.pprof] [-memprofile f.pprof] [-pprof]
 //	      [-slo] [-analysis] [-export DIR]
 //	      [-http :PORT] [-http-hold] [-progress]
 //	      [-stream] [-stream-buf N] [-modality-out FILE]
@@ -40,6 +41,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"syscall"
@@ -53,6 +56,7 @@ import (
 	"github.com/tgsim/tgmod/internal/fleet"
 	"github.com/tgsim/tgmod/internal/obs"
 	"github.com/tgsim/tgmod/internal/observatory"
+	"github.com/tgsim/tgmod/internal/perf"
 	"github.com/tgsim/tgmod/internal/regress"
 	"github.com/tgsim/tgmod/internal/report"
 	"github.com/tgsim/tgmod/internal/scenario"
@@ -106,7 +110,24 @@ func run() error {
 	replaySpeed := flag.Float64("replay-speed", 0, "replay pacing in virtual seconds per wall second (0 = as fast as possible)")
 	push := flag.String("push", "", "stream telemetry to an observatory daemon (tgobsd) at host:port or unix:PATH; same-seed runs stay byte-identical with or without it")
 	pushID := flag.String("push-id", "", "run identity to request from the observatory daemon (fleet replications get -rNN suffixes; empty = daemon-assigned)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (open with go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this file (open with go tool pprof)")
+	pprofFlag := flag.Bool("pprof", false, "with -http: mount the net/http/pprof endpoints on the run console at /debug/pprof/")
 	flag.Parse()
+
+	// Runtime profiles wrap every mode — replay, fleet, and single runs —
+	// so the profile covers exactly what the process did. Profiling only
+	// reads Go runtime state: a profiled run's exports stay byte-identical
+	// to an unprofiled same-seed run (CI proves this on the determinism
+	// gate by profiling one leg).
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
+	if *pprofFlag && *httpAddr == "" {
+		return fmt.Errorf("-pprof requires -http (the endpoints mount on the run console)")
+	}
 
 	if *replayDir != "" {
 		return runReplayMode(*replayDir, *replaySpeed, *streamBuf,
@@ -213,7 +234,15 @@ func run() error {
 		}
 		cfg.Observe.SamplePeriod = des.Time(*obsSampleHours) * des.Hour
 	}
-	cfg.Observe.Profile = *profile
+	// -profile attaches the phase-attribution profiler (internal/perf): it
+	// embeds the classic per-event-name self-profile and splits the wall
+	// clock across FEL/handler/accounting/classify phases. Built unbound —
+	// scenario.Run binds the kernel during assembly.
+	var phases *perf.Profiler
+	if *profile {
+		phases = perf.New(nil)
+		cfg.Observers = append(cfg.Observers, scenario.ProfilePhases(phases))
+	}
 
 	// Live telemetry: the registry feeds the run console's /metrics; the
 	// snapshot sink feeds both the console and the stderr progress line.
@@ -241,11 +270,27 @@ func run() error {
 	}
 	if *httpAddr != "" {
 		console = telemetry.NewConsole()
+		if *pprofFlag {
+			console.EnablePprof()
+		}
 		addr, err := console.Serve(*httpAddr)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "tgsim: live run console on http://%s/\n", addr)
+	}
+	// The runtime sampler feeds the wall-clock-only tg_runtime_* family:
+	// sampled on the snapshot cadence (a SnapshotExtra, so /status carries
+	// the runtime block) and served as its own exposition at
+	// /metrics/runtime — never spliced into the deterministic /metrics.
+	var sampler *perf.RuntimeSampler
+	if console != nil || *progress {
+		sampler = perf.NewRuntimeSampler()
+		cfg.Observers = append(cfg.Observers, scenario.DecorateSnapshots(func(s *telemetry.Snapshot) {
+			sampler.Sample(s.Events)
+			snap := sampler.Snap()
+			s.Runtime = &snap
+		}))
 	}
 	if reg != nil {
 		showProgress := *progress
@@ -254,6 +299,11 @@ func run() error {
 				var buf bytes.Buffer
 				if err := reg.WriteOpenMetrics(&buf); err == nil {
 					console.Update(s, buf.Bytes())
+				}
+				if sampler != nil {
+					console.PublishPage("/metrics/runtime",
+						"application/openmetrics-text; version=1.0.0; charset=utf-8",
+						sampler.OpenMetrics())
 				}
 				if proc != nil {
 					console.PublishJSON("/modalities", proc.ModalitiesJSON())
@@ -328,9 +378,11 @@ func run() error {
 	if pusher != nil {
 		pushFinishErr = pusher.Finish(endTime)
 	}
+	endClassify := res.Phases.Region(perf.PhaseClassify)
 	cl := core.NewClassifier(core.Config{LargestCores: res.LargestCores})
 	results := cl.Classify(res.Central)
 	rep := core.BuildReport(res.Central, results)
+	endClassify()
 	mod := modalityTable(rep)
 	if *modalityOut != "" {
 		if err := writeTo(*modalityOut, mod.WriteText); err != nil {
@@ -822,14 +874,63 @@ func largestBatchCores(cfg scenario.Config) (int, error) {
 	return largest, nil
 }
 
-// printProfile renders the kernel self-profile when one was collected.
+// printProfile renders the kernel profile when one was collected. A phase
+// profiler (the -profile default) prints the phase attribution and the
+// per-event FEL/handler split; a bare self-profiler (library callers using
+// Observe.Profile) keeps the classic per-name table.
 func printProfile(res *scenario.Result) error {
+	if res.Phases != nil {
+		fmt.Println()
+		fmt.Println(res.Phases.Summary())
+		if err := res.Phases.PhaseTable().WriteText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		return res.Phases.BreakdownTable().WriteText(os.Stdout)
+	}
 	if res.Profiler == nil {
 		return nil
 	}
 	fmt.Println()
 	fmt.Println(res.Profiler.Summary())
 	return res.Profiler.Table().WriteText(os.Stdout)
+}
+
+// startProfiles starts the requested runtime profiles and returns the stop
+// function that flushes them: the CPU profile stops and closes, then the
+// heap profile is captured after a forced GC so it reflects live objects.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	stopCPU := func() {}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	return func() {
+		stopCPU()
+		if memPath == "" {
+			return
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tgsim: -memprofile:", err)
+			return
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tgsim: -memprofile:", err)
+		}
+		f.Close()
+	}, nil
 }
 
 // writeTo creates path, hands it to write, and closes it, reporting the

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 )
 
 // Time is a point in virtual time, measured in seconds since the start of
@@ -165,6 +166,26 @@ type StepObserver interface {
 	AfterEvent(at Time, name string, pending int)
 }
 
+// OpProfiler is an optional Tracer extension for kernel self-profiling at
+// phase granularity. When the installed tracer also implements it, the
+// kernel reports the wall-clock cost of its own bookkeeping separately
+// from handler execution: BeforeStep fires when the kernel begins retiring
+// an event (before the future-event-list pop, so the window from
+// BeforeStep to Tracer.Event is pure FEL/dispatch cost), and FELOp reports
+// the measured duration of each heap mutation a Schedule/At/Cancel call
+// performs. Like StepObserver the implementation check happens once, at
+// SetTracer time; uninstrumented runs pay one nil comparison per schedule
+// and per step. Timing FEL ops costs two clock reads per heap mutation, so
+// an installed OpProfiler slows the kernel — it is a profiling tool, not a
+// production tracer — but it never touches virtual time or event order,
+// so profiled runs stay byte-identical to plain ones.
+type OpProfiler interface {
+	// BeforeStep fires before the kernel pops the next event.
+	BeforeStep()
+	// FELOp reports the wall duration of one heap push or remove.
+	FELOp(d time.Duration)
+}
+
 // Kernel is a discrete-event simulation engine. The zero value is ready to
 // use; New is provided for symmetry and future options.
 type Kernel struct {
@@ -176,6 +197,7 @@ type Kernel struct {
 	stopped      bool
 	tracer       Tracer
 	after        StepObserver
+	ops          OpProfiler
 	maxPending   int
 	pendingLimit int   // 0 = unlimited
 	err          error // sticky; set on backlog breach
@@ -186,12 +208,17 @@ func New() *Kernel { return &Kernel{} }
 
 // SetTracer installs tr as the kernel's event tracer. Passing nil disables
 // tracing. If tr also implements StepObserver, AfterEvent fires after each
-// handler returns.
+// handler returns; if it also implements OpProfiler, the kernel times its
+// own FEL operations and reports them.
 func (k *Kernel) SetTracer(tr Tracer) {
 	k.tracer = tr
 	k.after = nil
+	k.ops = nil
 	if so, ok := tr.(StepObserver); ok {
 		k.after = so
+	}
+	if op, ok := tr.(OpProfiler); ok {
+		k.ops = op
 	}
 }
 
@@ -282,7 +309,13 @@ func (k *Kernel) AtNamed(t Time, name string, fn Handler) Timer {
 	n.fn = fn
 	n.name = name
 	k.seq++
-	k.heapPush(n)
+	if k.ops != nil {
+		t0 := time.Now()
+		k.heapPush(n)
+		k.ops.FELOp(time.Since(t0))
+	} else {
+		k.heapPush(n)
+	}
 	if len(k.heap) > k.maxPending {
 		k.maxPending = len(k.heap)
 		if k.pendingLimit > 0 && len(k.heap) > k.pendingLimit && k.err == nil {
@@ -300,7 +333,13 @@ func (k *Kernel) Cancel(t Timer) bool {
 	if !t.Pending() {
 		return false
 	}
-	k.heapRemove(int(t.n.index))
+	if k.ops != nil {
+		t0 := time.Now()
+		k.heapRemove(int(t.n.index))
+		k.ops.FELOp(time.Since(t0))
+	} else {
+		k.heapRemove(int(t.n.index))
+	}
 	k.recycle(t.n)
 	return true
 }
@@ -310,6 +349,9 @@ func (k *Kernel) Cancel(t Timer) bool {
 func (k *Kernel) Step() bool {
 	if len(k.heap) == 0 {
 		return false
+	}
+	if k.ops != nil {
+		k.ops.BeforeStep()
 	}
 	n := k.heapPopMin()
 	k.now = n.at

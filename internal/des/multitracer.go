@@ -1,11 +1,15 @@
 package des
 
+import "time"
+
 // multiTracer fans kernel trace callbacks out to several tracers. The
-// StepObserver sub-list is computed once at construction, so AfterEvent
-// dispatch costs one slice walk, not per-event type assertions.
+// StepObserver and OpProfiler sub-lists are computed once at construction,
+// so AfterEvent/BeforeStep/FELOp dispatch costs one slice walk, not
+// per-event type assertions.
 type multiTracer struct {
 	tracers   []Tracer
 	observers []StepObserver
+	profilers []OpProfiler
 }
 
 // Event implements Tracer.
@@ -22,11 +26,26 @@ func (m *multiTracer) AfterEvent(at Time, name string, pending int) {
 	}
 }
 
+// BeforeStep implements OpProfiler.
+func (m *multiTracer) BeforeStep() {
+	for _, p := range m.profilers {
+		p.BeforeStep()
+	}
+}
+
+// FELOp implements OpProfiler.
+func (m *multiTracer) FELOp(d time.Duration) {
+	for _, p := range m.profilers {
+		p.FELOp(d)
+	}
+}
+
 // CombineTracers merges tracers into one. Nil entries are dropped; zero
 // survivors yield nil (so SetTracer(CombineTracers()) disables tracing) and
 // a single survivor is returned unwrapped, keeping the common one-tracer
-// case free of indirection. The result implements StepObserver whenever at
-// least one member does.
+// case free of indirection. The result implements StepObserver (resp.
+// OpProfiler) exactly when at least one member does, so combining plain
+// tracers never turns on the kernel's per-step or per-heap-op hooks.
 func CombineTracers(tracers ...Tracer) Tracer {
 	var live []Tracer
 	for _, t := range tracers {
@@ -45,17 +64,48 @@ func CombineTracers(tracers ...Tracer) Tracer {
 		if o, ok := t.(StepObserver); ok {
 			m.observers = append(m.observers, o)
 		}
+		if p, ok := t.(OpProfiler); ok {
+			m.profilers = append(m.profilers, p)
+		}
 	}
-	if len(m.observers) == 0 {
-		// No member wants AfterEvent; hide the StepObserver implementation
-		// so the kernel skips the post-handler call entirely.
+	// Hide the interfaces no member implements, so the kernel's SetTracer
+	// type assertions see exactly the capabilities the members provide.
+	switch {
+	case len(m.observers) == 0 && len(m.profilers) == 0:
 		return tracerOnly{m}
+	case len(m.profilers) == 0:
+		return stepOnly{m}
+	case len(m.observers) == 0:
+		return opOnly{m}
 	}
 	return m
 }
 
-// tracerOnly strips the StepObserver implementation from a multiTracer.
+// tracerOnly strips both optional interfaces from a multiTracer.
 type tracerOnly struct{ m *multiTracer }
 
 // Event implements Tracer.
 func (t tracerOnly) Event(at Time, name string) { t.m.Event(at, name) }
+
+// stepOnly strips the OpProfiler implementation from a multiTracer.
+type stepOnly struct{ m *multiTracer }
+
+// Event implements Tracer.
+func (t stepOnly) Event(at Time, name string) { t.m.Event(at, name) }
+
+// AfterEvent implements StepObserver.
+func (t stepOnly) AfterEvent(at Time, name string, pending int) {
+	t.m.AfterEvent(at, name, pending)
+}
+
+// opOnly strips the StepObserver implementation from a multiTracer.
+type opOnly struct{ m *multiTracer }
+
+// Event implements Tracer.
+func (t opOnly) Event(at Time, name string) { t.m.Event(at, name) }
+
+// BeforeStep implements OpProfiler.
+func (t opOnly) BeforeStep() { t.m.BeforeStep() }
+
+// FELOp implements OpProfiler.
+func (t opOnly) FELOp(d time.Duration) { t.m.FELOp(d) }

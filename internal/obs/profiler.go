@@ -32,10 +32,16 @@ type KernelProfiler struct {
 	pendingHW int
 }
 
-// NewKernelProfiler returns a profiler for kernel k.
+// NewKernelProfiler returns a profiler for kernel k. A nil kernel is
+// allowed for deferred binding (Bind): callers that build the profiler
+// before the kernel exists — tgsim constructs observers before scenario.Run
+// creates the kernel — bind it later.
 func NewKernelProfiler(k *des.Kernel) *KernelProfiler {
 	return &KernelProfiler{k: k, stats: make(map[string]*evStat)}
 }
+
+// Bind attaches (or replaces) the kernel the profiler reads FEL state from.
+func (p *KernelProfiler) Bind(k *des.Kernel) { p.k = k }
 
 // Install makes the profiler the kernel's tracer.
 func (p *KernelProfiler) Install() { p.k.SetTracer(p) }
@@ -91,8 +97,10 @@ func (p *KernelProfiler) EventsPerSec() float64 {
 // FELHighWater returns the largest pending-event count observed at any
 // event boundary.
 func (p *KernelProfiler) FELHighWater() int {
-	if hw := p.k.MaxPending(); hw > p.pendingHW {
-		return hw
+	if p.k != nil {
+		if hw := p.k.MaxPending(); hw > p.pendingHW {
+			return hw
+		}
 	}
 	return p.pendingHW
 }

@@ -18,6 +18,7 @@ import (
 	"github.com/tgsim/tgmod/internal/accounting"
 	"github.com/tgsim/tgmod/internal/core"
 	"github.com/tgsim/tgmod/internal/des"
+	"github.com/tgsim/tgmod/internal/perf"
 	"github.com/tgsim/tgmod/internal/stream"
 	"github.com/tgsim/tgmod/internal/telemetry"
 )
@@ -31,6 +32,9 @@ type Config struct {
 	// finalizes: <id>.modality.txt (the byte-exact usage-by-modality
 	// table) and <id>.modalities.json (the final /modalities payload).
 	FinalDir string
+	// Pprof mounts the net/http/pprof endpoints on the console at
+	// /debug/pprof/. Off by default: they expose process internals.
+	Pprof bool
 	// Log receives connection lifecycle lines; nil silences them.
 	Log *log.Logger
 }
@@ -70,6 +74,11 @@ type Daemon struct {
 	frameSnaps   atomic.Uint64
 	frameMetrics atomic.Uint64
 	frameFinals  atomic.Uint64
+
+	// runtime samples the daemon's own Go runtime state (tg_runtime_*),
+	// spliced into the meta-metrics exposition at scrape time. The sampler
+	// is internally locked, so concurrent scrapes are safe.
+	runtime *perf.RuntimeSampler
 }
 
 // runState is one run's slice of the daemon. The fields below the
@@ -112,7 +121,11 @@ type runState struct {
 
 // NewDaemon returns a daemon ready to accept listeners.
 func NewDaemon(cfg Config) *Daemon {
-	return &Daemon{cfg: cfg, runs: make(map[string]*runState)}
+	return &Daemon{
+		cfg:     cfg,
+		runs:    make(map[string]*runState),
+		runtime: perf.NewRuntimeSampler(),
+	}
 }
 
 // logf writes a lifecycle line when logging is configured.

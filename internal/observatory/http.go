@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -75,9 +76,29 @@ func (rs *runState) info(now time.Time) RunInfo {
 //	/runs/{id}/report     final usage-by-modality table (after finalize)
 //	/modalities       fleet-federated usage payload across all runs
 //	/drift            fleet-federated drift payload across all runs
-//	/metrics          the daemon's own tg_obsd_* exposition
+//	/metrics          the daemon's own tg_obsd_* + tg_runtime_* exposition
+//	/debug/pprof/     net/http/pprof (only with Config.Pprof)
 func (d *Daemon) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	path := r.URL.Path
+	if strings.HasPrefix(path, "/debug/pprof/") {
+		if !d.cfg.Pprof {
+			http.NotFound(w, r)
+			return
+		}
+		switch path {
+		case "/debug/pprof/cmdline":
+			pprof.Cmdline(w, r)
+		case "/debug/pprof/profile":
+			pprof.Profile(w, r)
+		case "/debug/pprof/symbol":
+			pprof.Symbol(w, r)
+		case "/debug/pprof/trace":
+			pprof.Trace(w, r)
+		default:
+			pprof.Index(w, r)
+		}
+		return
+	}
 	switch path {
 	case "/", "/index.html":
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
@@ -259,6 +280,14 @@ func (d *Daemon) writeMetaMetrics(w http.ResponseWriter) {
 			fmt.Fprintf(w, "tg_obsd_dropped_total{run=%q} %d\n", rs.ID, ss.Dropped)
 		}
 	}
+	// Splice the daemon's own Go runtime families (tg_runtime_*) in before
+	// the terminator. The daemon's "event" analog for the throughput gauge
+	// is frames ingested across all runs. Meta-metrics are wall-clock-only
+	// by nature, so unlike a run console there is no deterministic
+	// exposition here to protect.
+	frames := d.framePackets.Load() + d.frameSnaps.Load() +
+		d.frameMetrics.Load() + d.frameFinals.Load()
+	w.Write(d.runtime.AppendOpenMetrics(nil, frames))
 	fmt.Fprintf(w, "# EOF\n")
 }
 

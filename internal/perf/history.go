@@ -1,0 +1,277 @@
+// Bench-trajectory analysis: parse the committed BENCH_*.json records —
+// every schema version since the first baseline — into one normalized
+// table, detect noise-aware regressions along it, and compare a candidate
+// record against a committed baseline for the CI perf gate.
+//
+// BENCH schemas are additive: v2 introduced the fleet section, v3 made the
+// fleet walls dedicated runs, v4 added the push-overhead section, and v5
+// (this package's sibling change in cmd/benchtab) added dual fleet worker
+// counts plus kernel allocation/GC deltas. A single decoder therefore
+// reads them all; fields a version lacks stay zero and render as "-".
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/tgsim/tgmod/internal/report"
+)
+
+// BenchPoint is one normalized point on the performance trajectory.
+type BenchPoint struct {
+	File        string  `json:"file"`
+	Schema      int     `json:"schema"`
+	GeneratedAt string  `json:"generated_at"`
+	GitDescribe string  `json:"git_describe"`
+	GoVersion   string  `json:"go_version"`
+	Seed        uint64  `json:"seed"`
+	Scale       string  `json:"scale"`
+	Events      uint64  `json:"events"`
+	EventsPS    float64 `json:"events_per_sec"`
+	PeakFEL     int     `json:"peak_fel"`
+	Jobs        int     `json:"jobs_finished"`
+	AllocBytes  uint64  `json:"alloc_bytes,omitempty"` // v5+
+	GCCycles    uint32  `json:"gc_cycles,omitempty"`   // v5+
+
+	FleetReps       int     `json:"fleet_reps,omitempty"`
+	FleetWorkers    int     `json:"fleet_workers,omitempty"`
+	FleetWorkersSeq int     `json:"fleet_workers_seq,omitempty"` // v5+; 1 before
+	FleetSpeedup    float64 `json:"fleet_speedup,omitempty"`
+	FleetEPS        float64 `json:"fleet_events_per_sec,omitempty"`
+
+	PushOverheadPct float64 `json:"push_overhead_pct,omitempty"` // v4+
+
+	Experiments map[string]float64 `json:"experiments_wall_s,omitempty"`
+}
+
+// benchFile mirrors the BENCH_*.json layout across schemas v2–v5; absent
+// sections decode to nil/zero.
+type benchFile struct {
+	Schema      int    `json:"schema"`
+	GeneratedAt string `json:"generated_at"`
+	GitDescribe string `json:"git_describe"`
+	GoVersion   string `json:"go_version"`
+	Seed        uint64 `json:"seed"`
+	Scale       string `json:"scale"`
+	Kernel      struct {
+		Events       uint64  `json:"events"`
+		WallSeconds  float64 `json:"wall_s"`
+		EventsPerSec float64 `json:"events_per_sec"`
+		PeakFEL      int     `json:"peak_fel"`
+		JobsFinished int     `json:"jobs_finished"`
+		AllocBytes   uint64  `json:"alloc_bytes"`
+		GCCycles     uint32  `json:"gc_cycles"`
+	} `json:"kernel"`
+	Fleet *struct {
+		Reps           int     `json:"reps"`
+		Workers        int     `json:"workers"`
+		WorkersSeq     int     `json:"workers_seq"`
+		WallSeqSeconds float64 `json:"wall_seq_s"`
+		WallParSeconds float64 `json:"wall_par_s"`
+		Speedup        float64 `json:"speedup"`
+		EventsPerSec   float64 `json:"events_per_sec_aggregate"`
+	} `json:"fleet"`
+	Push *struct {
+		OverheadPct float64 `json:"overhead_pct"`
+	} `json:"push"`
+	Experiments map[string]float64 `json:"experiments_wall_s"`
+}
+
+// LoadBenchFile parses one BENCH_*.json record of any known schema.
+func LoadBenchFile(path string) (*BenchPoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf benchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if bf.Schema < 2 || bf.Kernel.Events == 0 {
+		return nil, fmt.Errorf("%s: not a BENCH record (schema %d, %d events)",
+			path, bf.Schema, bf.Kernel.Events)
+	}
+	p := &BenchPoint{
+		File:        filepath.Base(path),
+		Schema:      bf.Schema,
+		GeneratedAt: bf.GeneratedAt,
+		GitDescribe: bf.GitDescribe,
+		GoVersion:   bf.GoVersion,
+		Seed:        bf.Seed,
+		Scale:       bf.Scale,
+		Events:      bf.Kernel.Events,
+		EventsPS:    bf.Kernel.EventsPerSec,
+		PeakFEL:     bf.Kernel.PeakFEL,
+		Jobs:        bf.Kernel.JobsFinished,
+		AllocBytes:  bf.Kernel.AllocBytes,
+		GCCycles:    bf.Kernel.GCCycles,
+		Experiments: bf.Experiments,
+	}
+	if bf.Fleet != nil {
+		p.FleetReps = bf.Fleet.Reps
+		p.FleetWorkers = bf.Fleet.Workers
+		p.FleetWorkersSeq = bf.Fleet.WorkersSeq
+		if p.FleetWorkersSeq == 0 {
+			p.FleetWorkersSeq = 1 // pre-v5 records: the sequential leg was implicit
+		}
+		p.FleetSpeedup = bf.Fleet.Speedup
+		p.FleetEPS = bf.Fleet.EventsPerSec
+	}
+	if bf.Push != nil {
+		p.PushOverheadPct = bf.Push.OverheadPct
+	}
+	return p, nil
+}
+
+// LoadBenchDir loads every BENCH_*.json in dir, ordered by generation
+// timestamp (RFC 3339 sorts lexically) with filename as tiebreak. An empty
+// directory is an error: a trajectory needs at least one point.
+func LoadBenchDir(dir string) ([]*BenchPoint, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no BENCH_*.json records in %s", dir)
+	}
+	points := make([]*BenchPoint, 0, len(paths))
+	for _, p := range paths {
+		pt, err := LoadBenchFile(p)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, pt)
+	}
+	sort.SliceStable(points, func(i, j int) bool {
+		if points[i].GeneratedAt != points[j].GeneratedAt {
+			return points[i].GeneratedAt < points[j].GeneratedAt
+		}
+		return points[i].File < points[j].File
+	})
+	return points, nil
+}
+
+// TrajectoryTable renders the normalized trajectory, oldest first.
+func TrajectoryTable(points []*BenchPoint) *report.Table {
+	t := report.NewTable("Performance trajectory (committed BENCH records)",
+		"record", "schema", "commit", "scale", "events/s", "fleet speedup", "workers", "push ovh")
+	for _, p := range points {
+		speedup, workers, push := "-", "-", "-"
+		if p.FleetWorkers > 0 {
+			speedup = fmt.Sprintf("%.2f", p.FleetSpeedup)
+			workers = fmt.Sprintf("%d→%d", p.FleetWorkersSeq, p.FleetWorkers)
+		}
+		if p.PushOverheadPct != 0 {
+			push = fmt.Sprintf("%.1f%%", p.PushOverheadPct)
+		}
+		t.AddRowf(p.File, int64(p.Schema), p.GitDescribe, p.Scale,
+			report.FormatFloat(float64(int64(p.EventsPS))), speedup, workers, push)
+	}
+	return t
+}
+
+// Regression is one trajectory point that fell below its noise-aware
+// baseline.
+type Regression struct {
+	File     string  `json:"file"`
+	Metric   string  `json:"metric"`
+	Value    float64 `json:"value"`
+	Baseline float64 `json:"baseline"`
+	DropFrac float64 `json:"drop_frac"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s %.0f is %.1f%% below trailing baseline %.0f",
+		r.File, r.Metric, r.Value, 100*r.DropFrac, r.Baseline)
+}
+
+// DetectRegressions walks the trajectory in order and flags points whose
+// kernel events/s fall more than tolFrac below the median of up to three
+// prior same-scale points. The median baseline absorbs single-run noise
+// (single-core hosts jitter ±10–20% leg to leg; see EXPERIMENTS.md), so
+// one slow record flags once rather than poisoning the baseline for its
+// successors.
+func DetectRegressions(points []*BenchPoint, tolFrac float64) []Regression {
+	var regs []Regression
+	byScale := make(map[string][]float64)
+	for _, p := range points {
+		prior := byScale[p.Scale]
+		if len(prior) > 0 {
+			base := median(prior)
+			if base > 0 && p.EventsPS < base*(1-tolFrac) {
+				regs = append(regs, Regression{
+					File: p.File, Metric: "kernel events/s",
+					Value: p.EventsPS, Baseline: base,
+					DropFrac: 1 - p.EventsPS/base,
+				})
+			}
+		}
+		prior = append(prior, p.EventsPS)
+		if len(prior) > 3 {
+			prior = prior[len(prior)-3:]
+		}
+		byScale[p.Scale] = prior
+	}
+	return regs
+}
+
+// median returns the median of vs (which must be non-empty).
+func median(vs []float64) float64 {
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Tolerance bounds how far a candidate record may fall below its baseline
+// before the CI gate fails.
+type Tolerance struct {
+	// EventsPSFrac is the allowed fractional drop in kernel events/s
+	// (0.25 = a quarter slower still passes — wall-clock benches on shared
+	// CI runners are noisy).
+	EventsPSFrac float64
+	// SpeedupFrac is the allowed fractional drop in fleet speedup.
+	SpeedupFrac float64
+}
+
+// Compare gates candidate cand against baseline base. It returns the list
+// of violations (empty = pass). Determinism anchors — seed, scale, kernel
+// event count, jobs finished — must match exactly: if they differ the
+// records are not like-for-like and every violation says so rather than
+// reporting a bogus throughput delta.
+func Compare(base, cand *BenchPoint, tol Tolerance) []string {
+	var bad []string
+	if base.Seed != cand.Seed || base.Scale != cand.Scale {
+		return []string{fmt.Sprintf(
+			"not like-for-like: baseline seed=%d scale=%s vs candidate seed=%d scale=%s",
+			base.Seed, base.Scale, cand.Seed, cand.Scale)}
+	}
+	if base.Events != cand.Events || base.Jobs != cand.Jobs {
+		return []string{fmt.Sprintf(
+			"determinism anchor mismatch: baseline %d events/%d jobs vs candidate %d events/%d jobs — simulated results diverged; fix that before gating performance",
+			base.Events, base.Jobs, cand.Events, cand.Jobs)}
+	}
+	if base.EventsPS > 0 {
+		floor := base.EventsPS * (1 - tol.EventsPSFrac)
+		if cand.EventsPS < floor {
+			bad = append(bad, fmt.Sprintf(
+				"kernel events/s regressed: %.0f < %.0f (baseline %.0f − %.0f%% tolerance)",
+				cand.EventsPS, floor, base.EventsPS, 100*tol.EventsPSFrac))
+		}
+	}
+	if base.FleetWorkers > 1 && cand.FleetWorkers > 1 && base.FleetSpeedup > 0 {
+		floor := base.FleetSpeedup * (1 - tol.SpeedupFrac)
+		if cand.FleetSpeedup < floor {
+			bad = append(bad, fmt.Sprintf(
+				"fleet speedup regressed: %.2f < %.2f (baseline %.2f − %.0f%% tolerance)",
+				cand.FleetSpeedup, floor, base.FleetSpeedup, 100*tol.SpeedupFrac))
+		}
+	}
+	return bad
+}

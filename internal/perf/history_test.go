@@ -1,0 +1,184 @@
+package perf
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeRecord drops a minimal BENCH record into dir.
+func writeRecord(t *testing.T, dir, name, body string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const v2Record = `{
+  "schema": 2, "generated_at": "2026-08-06T01:14:23Z",
+  "git_describe": "aaa1111", "go_version": "go1.24.0",
+  "seed": 7, "scale": "quick",
+  "kernel": {"events": 14210, "wall_s": 0.036, "events_per_sec": 389229, "peak_fel": 74, "jobs_finished": 5129},
+  "fleet": {"reps": 8, "workers": 1, "wall_seq_s": 0.36, "wall_par_s": 0.36, "speedup": 1, "events_per_sec_aggregate": 311911},
+  "experiments_wall_s": {"T1": 0.00001}
+}`
+
+const v5Record = `{
+  "schema": 5, "generated_at": "2026-08-08T20:00:00Z",
+  "git_describe": "ccc3333", "go_version": "go1.24.0",
+  "seed": 7, "scale": "quick",
+  "kernel": {"events": 14210, "wall_s": 0.037, "events_per_sec": 384000, "peak_fel": 74, "jobs_finished": 5129, "alloc_bytes": 52000000, "gc_cycles": 9},
+  "fleet": {"reps": 8, "workers": 4, "workers_seq": 1, "wall_seq_s": 0.33, "wall_par_s": 0.12, "speedup": 2.75, "events_per_sec_aggregate": 900000},
+  "push": {"events_per_sec_plain": 500000, "events_per_sec_push": 400000, "overhead_pct": 20, "packet_frames": 130, "pushed_bytes": 940146},
+  "experiments_wall_s": {"T1": 0.00001}
+}`
+
+// TestLoadBenchDirAcrossSchemas: one decoder reads v2 and v5 records and
+// orders them by generation time.
+func TestLoadBenchDirAcrossSchemas(t *testing.T) {
+	dir := t.TempDir()
+	writeRecord(t, dir, "BENCH_b.json", v5Record)
+	writeRecord(t, dir, "BENCH_a.json", v2Record)
+	pts, err := LoadBenchDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("loaded %d points, want 2", len(pts))
+	}
+	if pts[0].Schema != 2 || pts[1].Schema != 5 {
+		t.Fatalf("order wrong: schemas %d,%d", pts[0].Schema, pts[1].Schema)
+	}
+	if pts[0].FleetWorkersSeq != 1 {
+		t.Errorf("pre-v5 record must default workers_seq to 1, got %d", pts[0].FleetWorkersSeq)
+	}
+	if pts[1].AllocBytes != 52000000 || pts[1].GCCycles != 9 {
+		t.Errorf("v5 kernel alloc/GC fields not parsed: %+v", pts[1])
+	}
+	if pts[1].PushOverheadPct != 20 {
+		t.Errorf("v4+ push overhead not parsed: %+v", pts[1])
+	}
+	table := TrajectoryTable(pts).String()
+	for _, want := range []string{"BENCH_a.json", "BENCH_b.json", "aaa1111", "ccc3333"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("trajectory table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+// TestLoadCommittedRecords is the acceptance contract: every BENCH_*.json
+// committed at the repository root (schemas v2 through v5) parses into the
+// trajectory.
+func TestLoadCommittedRecords(t *testing.T) {
+	pts, err := LoadBenchDir(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 3 {
+		t.Fatalf("expected at least the three committed records, got %d", len(pts))
+	}
+	seen := map[int]bool{}
+	for _, p := range pts {
+		seen[p.Schema] = true
+		if p.EventsPS <= 0 {
+			t.Errorf("%s: no kernel throughput parsed", p.File)
+		}
+	}
+	for _, schema := range []int{2, 3, 4} {
+		if !seen[schema] {
+			t.Errorf("committed records no longer cover schema v%d", schema)
+		}
+	}
+}
+
+// TestDetectRegressions: a point far below the trailing median flags; the
+// median baseline shields successors from one noisy record.
+func TestDetectRegressions(t *testing.T) {
+	mk := func(file string, eps float64) *BenchPoint {
+		return &BenchPoint{File: file, Scale: "quick", EventsPS: eps, GeneratedAt: file}
+	}
+	pts := []*BenchPoint{
+		mk("BENCH_1.json", 380_000),
+		mk("BENCH_2.json", 390_000),
+		mk("BENCH_3.json", 150_000), // regression
+		mk("BENCH_4.json", 385_000), // recovery must not flag
+	}
+	regs := DetectRegressions(pts, 0.30)
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want 1: %v", len(regs), regs)
+	}
+	if regs[0].File != "BENCH_3.json" {
+		t.Errorf("flagged %s, want BENCH_3.json", regs[0].File)
+	}
+	if !strings.Contains(regs[0].String(), "kernel events/s") {
+		t.Errorf("regression string lacks metric: %s", regs[0])
+	}
+	if got := DetectRegressions(pts[:2], 0.30); len(got) != 0 {
+		t.Errorf("steady trajectory flagged: %v", got)
+	}
+}
+
+// TestCompareGate: the baseline/candidate comparison enforces like-for-like
+// anchors and tolerant throughput floors.
+func TestCompareGate(t *testing.T) {
+	base := &BenchPoint{Seed: 7, Scale: "quick", Events: 14210, Jobs: 5129,
+		EventsPS: 380_000, FleetWorkers: 4, FleetSpeedup: 3.0}
+	tol := Tolerance{EventsPSFrac: 0.25, SpeedupFrac: 0.25}
+
+	cases := []struct {
+		name string
+		cand BenchPoint
+		want string // substring of a violation; "" = pass
+	}{
+		{"pass-identical", *base, ""},
+		{"pass-within-tolerance", BenchPoint{Seed: 7, Scale: "quick", Events: 14210,
+			Jobs: 5129, EventsPS: 300_000, FleetWorkers: 4, FleetSpeedup: 2.4}, ""},
+		{"fail-throughput", BenchPoint{Seed: 7, Scale: "quick", Events: 14210,
+			Jobs: 5129, EventsPS: 200_000, FleetWorkers: 4, FleetSpeedup: 3.0},
+			"kernel events/s regressed"},
+		{"fail-speedup", BenchPoint{Seed: 7, Scale: "quick", Events: 14210,
+			Jobs: 5129, EventsPS: 380_000, FleetWorkers: 4, FleetSpeedup: 1.0},
+			"fleet speedup regressed"},
+		{"fail-anchors", BenchPoint{Seed: 7, Scale: "quick", Events: 99, Jobs: 5129,
+			EventsPS: 380_000}, "determinism anchor mismatch"},
+		{"fail-not-like-for-like", BenchPoint{Seed: 8, Scale: "quick", Events: 14210,
+			Jobs: 5129, EventsPS: 380_000}, "not like-for-like"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := Compare(base, &tc.cand, tol)
+			if tc.want == "" {
+				if len(bad) != 0 {
+					t.Fatalf("want pass, got violations: %v", bad)
+				}
+				return
+			}
+			if len(bad) == 0 {
+				t.Fatalf("want violation containing %q, gate passed", tc.want)
+			}
+			found := false
+			for _, v := range bad {
+				if strings.Contains(v, tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("violations %v lack %q", bad, tc.want)
+			}
+		})
+	}
+}
+
+// TestSingleWorkerFleetSkipsSpeedupGate: on a single-core host the parallel
+// leg runs at width 1 and its speedup is pure noise — the gate must not
+// fail on it.
+func TestSingleWorkerFleetSkipsSpeedupGate(t *testing.T) {
+	base := &BenchPoint{Seed: 7, Scale: "quick", Events: 14210, Jobs: 5129,
+		EventsPS: 380_000, FleetWorkers: 1, FleetSpeedup: 1.0}
+	cand := &BenchPoint{Seed: 7, Scale: "quick", Events: 14210, Jobs: 5129,
+		EventsPS: 380_000, FleetWorkers: 1, FleetSpeedup: 0.78}
+	if bad := Compare(base, cand, Tolerance{EventsPSFrac: 0.25, SpeedupFrac: 0.1}); len(bad) != 0 {
+		t.Fatalf("width-1 speedup noise failed the gate: %v", bad)
+	}
+}

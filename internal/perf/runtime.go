@@ -1,0 +1,148 @@
+// Go runtime sampling: the wall-clock-only tg_runtime_* telemetry family.
+//
+// These families describe the host process (heap, GC, goroutines, event
+// throughput), not the simulation — two same-seed runs will legitimately
+// disagree on every one of them. They therefore live in a private registry
+// owned by the sampler, never the run's deterministic registry: the
+// exported metrics.om and the console's /metrics endpoint cannot contain
+// them by construction, and tgdiff additionally skips the tg_runtime_
+// prefix as defense in depth. Consoles expose them separately, at
+// /metrics/runtime.
+package perf
+
+import (
+	"bytes"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/tgsim/tgmod/internal/telemetry"
+)
+
+// RuntimeSampler reads Go runtime state into tg_runtime_* gauges and
+// counters and renders them as an OpenMetrics exposition. Unlike the
+// simulation registry it is internally locked, so daemons may sample at
+// scrape time from concurrent HTTP goroutines; in tgsim the sim goroutine
+// samples on the snapshot cadence and consoles serve pre-rendered bytes.
+type RuntimeSampler struct {
+	mu  sync.Mutex
+	reg *telemetry.Registry
+
+	heapAlloc   *telemetry.Gauge
+	heapSys     *telemetry.Gauge
+	heapObjects *telemetry.Gauge
+	goroutines  *telemetry.Gauge
+	eventsPS    *telemetry.Gauge
+	gcCycles    *telemetry.Counter
+	gcPause     *telemetry.Counter
+	allocBytes  *telemetry.Counter
+
+	lastNumGC      uint32
+	lastPauseNs    uint64
+	lastTotalAlloc uint64
+
+	lastSample time.Time
+	lastEvents uint64
+
+	snap telemetry.RuntimeSnap
+}
+
+// NewRuntimeSampler returns a sampler with all tg_runtime_* families
+// registered at zero.
+func NewRuntimeSampler() *RuntimeSampler {
+	reg := telemetry.New()
+	s := &RuntimeSampler{
+		reg: reg,
+		heapAlloc: reg.Gauge("tg_runtime_heap_alloc_bytes",
+			"Bytes of allocated heap objects (wall-clock-only; excluded from determinism diffs).").With(),
+		heapSys: reg.Gauge("tg_runtime_heap_sys_bytes",
+			"Bytes of heap obtained from the OS (wall-clock-only).").With(),
+		heapObjects: reg.Gauge("tg_runtime_heap_objects",
+			"Live heap objects (wall-clock-only).").With(),
+		goroutines: reg.Gauge("tg_runtime_goroutines",
+			"Goroutines in the process (wall-clock-only).").With(),
+		eventsPS: reg.Gauge("tg_runtime_events_per_sec",
+			"Kernel event throughput over the last sample interval (wall-clock-only).").With(),
+		gcCycles: reg.Counter("tg_runtime_gc_cycles_total",
+			"Completed GC cycles (wall-clock-only).").With(),
+		gcPause: reg.Counter("tg_runtime_gc_pause_seconds_total",
+			"Cumulative GC stop-the-world pause time (wall-clock-only).").With(),
+		allocBytes: reg.Counter("tg_runtime_alloc_bytes_total",
+			"Cumulative bytes allocated (wall-clock-only).").With(),
+	}
+	return s
+}
+
+// Sample reads the runtime and updates every family. events is the kernel
+// event count at the time of the call (0 when unknown — the throughput
+// gauge then stays at its previous value). Safe for concurrent use.
+func (s *RuntimeSampler) Sample(events uint64) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	now := time.Now()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.heapAlloc.Set(float64(ms.HeapAlloc))
+	s.heapSys.Set(float64(ms.HeapSys))
+	s.heapObjects.Set(float64(ms.HeapObjects))
+	s.goroutines.Set(float64(runtime.NumGoroutine()))
+	s.gcCycles.Add(float64(ms.NumGC - s.lastNumGC))
+	s.gcPause.Add(float64(ms.PauseTotalNs-s.lastPauseNs) / 1e9)
+	s.allocBytes.Add(float64(ms.TotalAlloc - s.lastTotalAlloc))
+	s.lastNumGC = ms.NumGC
+	s.lastPauseNs = ms.PauseTotalNs
+	s.lastTotalAlloc = ms.TotalAlloc
+
+	if events > s.lastEvents && !s.lastSample.IsZero() {
+		if dt := now.Sub(s.lastSample).Seconds(); dt > 0 {
+			s.eventsPS.Set(float64(events-s.lastEvents) / dt)
+		}
+	}
+	if events > 0 {
+		s.lastEvents = events
+	}
+	s.lastSample = now
+
+	s.snap = telemetry.RuntimeSnap{
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapSysBytes:   ms.HeapSys,
+		HeapObjects:    ms.HeapObjects,
+		GCCycles:       ms.NumGC,
+		GCPauseMS:      float64(ms.PauseTotalNs) / 1e6,
+		Goroutines:     runtime.NumGoroutine(),
+		EventsPerSec:   s.eventsPS.Value(),
+	}
+}
+
+// Snap returns the most recent sample as the snapshot slice consoles embed
+// in /status. The returned value is a copy.
+func (s *RuntimeSampler) Snap() telemetry.RuntimeSnap {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snap
+}
+
+// OpenMetrics renders the current tg_runtime_* state as a complete
+// OpenMetrics exposition (terminated by "# EOF"). The returned slice is
+// freshly allocated — safe to publish to a console page.
+func (s *RuntimeSampler) OpenMetrics() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var buf bytes.Buffer
+	if err := s.reg.WriteOpenMetrics(&buf); err != nil {
+		return []byte("# EOF\n")
+	}
+	return buf.Bytes()
+}
+
+var eofLine = []byte("# EOF\n")
+
+// AppendOpenMetrics samples the runtime and appends the tg_runtime_*
+// families — without the "# EOF" terminator — to dst. Daemons that expose
+// their own meta-metrics endpoint use it to splice runtime families into an
+// existing exposition just before the terminator.
+func (s *RuntimeSampler) AppendOpenMetrics(dst []byte, events uint64) []byte {
+	s.Sample(events)
+	return append(dst, bytes.TrimSuffix(s.OpenMetrics(), eofLine)...)
+}

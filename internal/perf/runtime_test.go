@@ -1,0 +1,159 @@
+package perf
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/tgsim/tgmod/internal/telemetry"
+)
+
+// TestRuntimeSamplerFamilies: every tg_runtime_* family is present in the
+// exposition and carries plausible values after a sample.
+func TestRuntimeSamplerFamilies(t *testing.T) {
+	s := NewRuntimeSampler()
+	s.Sample(1000)
+	om := string(s.OpenMetrics())
+	for _, fam := range []string{
+		"tg_runtime_heap_alloc_bytes",
+		"tg_runtime_heap_sys_bytes",
+		"tg_runtime_heap_objects",
+		"tg_runtime_goroutines",
+		"tg_runtime_events_per_sec",
+		"tg_runtime_gc_cycles_total",
+		"tg_runtime_gc_pause_seconds_total",
+		"tg_runtime_alloc_bytes_total",
+	} {
+		if !strings.Contains(om, fam) {
+			t.Errorf("exposition missing family %s:\n%s", fam, om)
+		}
+	}
+	if !strings.HasSuffix(om, "# EOF\n") {
+		t.Error("exposition not terminated by # EOF")
+	}
+	snap := s.Snap()
+	if snap.HeapAllocBytes == 0 || snap.Goroutines == 0 {
+		t.Errorf("snapshot has zero heap/goroutines: %+v", snap)
+	}
+}
+
+// TestRuntimeSamplerThroughput: the events/s gauge reflects the delta
+// between consecutive samples.
+func TestRuntimeSamplerThroughput(t *testing.T) {
+	s := NewRuntimeSampler()
+	s.Sample(0)
+	s.Sample(10_000)
+	s.Sample(20_000)
+	if s.Snap().EventsPerSec <= 0 {
+		t.Errorf("events/s gauge not set after increasing samples: %+v", s.Snap())
+	}
+}
+
+// TestAppendOpenMetrics: the spliced form carries the families but not the
+// terminator, so daemons can append it mid-exposition.
+func TestAppendOpenMetrics(t *testing.T) {
+	s := NewRuntimeSampler()
+	out := s.AppendOpenMetrics([]byte("tg_obsd_runs 1\n"), 500)
+	body := string(out)
+	if !strings.Contains(body, "tg_runtime_heap_alloc_bytes") {
+		t.Fatalf("spliced exposition missing runtime families:\n%s", body)
+	}
+	if strings.Contains(body, "# EOF") {
+		t.Fatalf("spliced exposition must not contain the EOF terminator:\n%s", body)
+	}
+	if !strings.HasPrefix(body, "tg_obsd_runs 1\n") {
+		t.Fatalf("splice lost the destination prefix:\n%s", body)
+	}
+}
+
+// TestConcurrentRuntimeScrapes is the -race test for the console path: one
+// goroutine plays the simulation loop (sampling the runtime and publishing
+// /metrics/runtime pages) while many goroutines scrape the console. Run
+// with -race this proves scrapes of tg_runtime_* gauges during ingest are
+// data-race-free and never observe a torn payload.
+func TestConcurrentRuntimeScrapes(t *testing.T) {
+	s := NewRuntimeSampler()
+	console := telemetry.NewConsole()
+	srv := httptest.NewServer(console)
+	defer srv.Close()
+
+	const rounds = 200
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(srv.URL + "/metrics/runtime")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if resp.StatusCode == http.StatusOK {
+					if !strings.HasSuffix(string(body), "# EOF\n") {
+						t.Errorf("torn runtime exposition: %q", body)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < rounds; i++ {
+		s.Sample(uint64(i) * 100)
+		console.PublishPage("/metrics/runtime",
+			"application/openmetrics-text; version=1.0.0; charset=utf-8",
+			s.OpenMetrics())
+	}
+	close(stop)
+	wg.Wait()
+
+	resp, err := http.Get(srv.URL + "/metrics/runtime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("final scrape: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "openmetrics") {
+		t.Errorf("runtime page served with content type %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "tg_runtime_heap_alloc_bytes") {
+		t.Errorf("final scrape missing runtime families:\n%s", body)
+	}
+}
+
+// TestRuntimeFamiliesStayOffMainRegistry: the deterministic registry and
+// the runtime registry are disjoint — rendering a run registry after heavy
+// runtime sampling must not contain a single tg_runtime_ series.
+func TestRuntimeFamiliesStayOffMainRegistry(t *testing.T) {
+	main := telemetry.New()
+	main.Counter("tg_jobs_total", "jobs").With().Inc()
+	s := NewRuntimeSampler()
+	for i := 0; i < 10; i++ {
+		s.Sample(uint64(i))
+	}
+	var b strings.Builder
+	if err := main.WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "tg_runtime_") {
+		t.Fatalf("deterministic registry leaked runtime families:\n%s", b.String())
+	}
+}

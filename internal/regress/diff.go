@@ -8,7 +8,16 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 )
+
+// runtimePrefix marks the wall-clock-only runtime telemetry family
+// (internal/perf). Those series describe the host process, not the
+// simulation — two correct same-seed runs will always disagree on them —
+// so the differ skips them wholesale. They should never reach an exported
+// exposition in the first place (they live in a perf-owned registry); the
+// skip is defense in depth against a future consumer splicing them in.
+const runtimePrefix = "tg_runtime_"
 
 // Tolerance bounds how far a series may move before it counts as changed:
 // |a−b| > Abs + Rel·max(|a|,|b|). The zero value demands exact equality,
@@ -46,9 +55,15 @@ func (r *Report) Empty() bool {
 }
 
 // Diff compares run A (the baseline) with run B (the candidate).
+// Wall-clock-only series (the tg_runtime_ family) are excluded from both
+// sides before any comparison.
 func Diff(a, b map[string]float64, tol Tolerance) *Report {
-	rep := &Report{ASeries: len(a), BSeries: len(b)}
+	rep := &Report{}
 	for k, av := range a {
+		if strings.HasPrefix(k, runtimePrefix) {
+			continue
+		}
+		rep.ASeries++
 		bv, ok := b[k]
 		if !ok {
 			rep.Removed = append(rep.Removed, k)
@@ -59,6 +74,10 @@ func Diff(a, b map[string]float64, tol Tolerance) *Report {
 		}
 	}
 	for k := range b {
+		if strings.HasPrefix(k, runtimePrefix) {
+			continue
+		}
+		rep.BSeries++
 		if _, ok := a[k]; !ok {
 			rep.Added = append(rep.Added, k)
 		}

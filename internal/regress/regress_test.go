@@ -323,3 +323,28 @@ func TestLoadRunDirSelect(t *testing.T) {
 		t.Error("unknown file name accepted")
 	}
 }
+
+// TestDiffSkipsRuntimeSeries: the wall-clock-only tg_runtime_ family never
+// participates in a determinism diff — not as a change, not as an
+// add/remove, not even in the series counts.
+func TestDiffSkipsRuntimeSeries(t *testing.T) {
+	a := map[string]float64{
+		"tg_jobs_total{machine=\"abe\"}": 5,
+		"tg_runtime_heap_alloc_bytes":    1e6,
+	}
+	b := map[string]float64{
+		"tg_jobs_total{machine=\"abe\"}": 5,
+		"tg_runtime_heap_alloc_bytes":    2e6,
+		"tg_runtime_goroutines":          8,
+	}
+	rep := Diff(a, b, Tolerance{})
+	if !rep.Empty() {
+		var buf bytes.Buffer
+		rep.WriteText(&buf)
+		t.Errorf("runtime series leaked into the diff:\n%s", buf.String())
+	}
+	if rep.ASeries != 1 || rep.BSeries != 1 {
+		t.Errorf("series counts include runtime series: %d vs %d, want 1 vs 1",
+			rep.ASeries, rep.BSeries)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"github.com/tgsim/tgmod/internal/accounting"
 	"github.com/tgsim/tgmod/internal/des"
 	"github.com/tgsim/tgmod/internal/obs"
+	"github.com/tgsim/tgmod/internal/perf"
 	"github.com/tgsim/tgmod/internal/slo"
 	"github.com/tgsim/tgmod/internal/telemetry"
 )
@@ -30,6 +31,13 @@ type Attachment struct {
 	SamplePeriod des.Time
 	// Profile, when true, installs a wall-clock kernel self-profiler.
 	Profile bool
+	// Phases, when non-nil, is installed as the kernel's phase-attribution
+	// profiler (tracer + step observer + op profiler): per-event-name wall
+	// time split across FEL/handler phases, with the scenario's accounting
+	// flush charged as PhaseAccounting. Supersedes Profile (which measures
+	// per-name totals only); both may be attached, but the phase profiler
+	// already embeds the per-name profile.
+	Phases *perf.Profiler
 	// Registry, when non-nil, receives live labeled metrics.
 	Registry *telemetry.Registry
 	// Snapshots, when non-nil, receives wall-throttled progress snapshots
@@ -55,7 +63,7 @@ type Attachment struct {
 
 // enabled reports whether anything is attached.
 func (a *Attachment) enabled() bool {
-	return a.Recorder != nil || a.SamplePeriod > 0 || a.Profile ||
+	return a.Recorder != nil || a.SamplePeriod > 0 || a.Profile || a.Phases != nil ||
 		a.Registry != nil || a.Snapshots != nil || a.SLO != nil || len(a.Tracers) > 0 ||
 		len(a.Packets) > 0 || len(a.SnapshotExtras) > 0
 }
@@ -89,6 +97,20 @@ func SampleEvery(period des.Time) Observer {
 // self-profiler; the profile lands in Result.Profiler.
 func ProfileKernel() Observer {
 	return ObserverFunc(func(a *Attachment) { a.Profile = true })
+}
+
+// ProfilePhases returns an Observer that installs p as the run's
+// phase-attribution profiler (see internal/perf): the kernel feeds it FEL
+// operation timings, and the scenario charges its accounting flushes to
+// PhaseAccounting. The profiler also lands in Result.Phases. The
+// constructor lives here rather than in perf because observers are a
+// scenario concept; perf stays import-free of scenario.
+func ProfilePhases(p *perf.Profiler) Observer {
+	return ObserverFunc(func(a *Attachment) {
+		if p != nil {
+			a.Phases = p
+		}
+	})
 }
 
 // LiveTelemetry returns an Observer that binds reg as the run's live

@@ -20,6 +20,7 @@ import (
 	"github.com/tgsim/tgmod/internal/metasched"
 	"github.com/tgsim/tgmod/internal/network"
 	"github.com/tgsim/tgmod/internal/obs"
+	"github.com/tgsim/tgmod/internal/perf"
 	"github.com/tgsim/tgmod/internal/sched"
 	"github.com/tgsim/tgmod/internal/simrand"
 	"github.com/tgsim/tgmod/internal/slo"
@@ -246,6 +247,9 @@ type Result struct {
 	Sampler *obs.Sampler
 	// Profiler holds the kernel self-profile (nil unless Observe.Profile).
 	Profiler *obs.KernelProfiler
+	// Phases holds the phase-attribution profile (nil unless a
+	// ProfilePhases observer was attached).
+	Phases *perf.Profiler
 	// Faults is the fault injector (nil unless Config.Faults.Enabled); its
 	// Stats() summarize every injected failure and resilience action.
 	Faults *faults.Injector
@@ -282,6 +286,11 @@ func Run(cfg Config) (*Result, error) {
 	if att.Profile {
 		// Created now, installed with the other tracers just before the run.
 		profiler = obs.NewKernelProfiler(k)
+	}
+	if att.Phases != nil {
+		// Phase profilers are built by callers before the kernel exists;
+		// bind this run's kernel so FEL high-water reporting works.
+		att.Phases.Bind(k)
 	}
 
 	// Network and storage.
@@ -485,21 +494,35 @@ func Run(cfg Config) (*Result, error) {
 	// Periodic accounting reporting over the simulated wire. Packet taps
 	// (the streaming observatory's live ingest seam) observe each packet
 	// after the central ingest, in deterministic site order.
+	// The phase profiler charges the ledger flush / wire encode / central
+	// ingest to PhaseAccounting and the tap fan-out (live classification
+	// ingest) to PhaseClassify; both Region calls are nil-safe no-ops when
+	// no profiler is attached.
+	phases := att.Phases
 	flushAll := func() error {
 		for _, s := range fed.Sites {
-			if p := ledgers[s.ID].Flush(k.Now()); p != nil {
-				data, err := p.Encode()
-				if err != nil {
-					return err
-				}
-				if err := central.IngestWire(data); err != nil {
-					return err
-				}
-				th.flushed(len(p.Jobs), len(data))
-				for _, tap := range att.Packets {
-					tap(k.Now(), p)
-				}
+			endAcct := phases.Region(perf.PhaseAccounting)
+			p := ledgers[s.ID].Flush(k.Now())
+			if p == nil {
+				endAcct()
+				continue
 			}
+			data, err := p.Encode()
+			if err != nil {
+				endAcct()
+				return err
+			}
+			err = central.IngestWire(data)
+			endAcct()
+			if err != nil {
+				return err
+			}
+			th.flushed(len(p.Jobs), len(data))
+			endTaps := phases.Region(perf.PhaseClassify)
+			for _, tap := range att.Packets {
+				tap(k.Now(), p)
+			}
+			endTaps()
 		}
 		return nil
 	}
@@ -579,6 +602,9 @@ func Run(cfg Config) (*Result, error) {
 	if profiler != nil {
 		tracers = append(tracers, profiler)
 	}
+	if att.Phases != nil {
+		tracers = append(tracers, att.Phases)
+	}
 	if pub != nil {
 		tracers = append(tracers, pub)
 	}
@@ -606,7 +632,7 @@ func Run(cfg Config) (*Result, error) {
 		Schedulers: scheds, Broker: broker, Gateways: gateways, Fabric: fabric,
 		Archives: archives, Population: pop, Finished: finished,
 		LargestCores: largest, Sampler: sampler, Profiler: profiler,
-		Faults: injector,
+		Phases: att.Phases, Faults: injector,
 	}, nil
 }
 

@@ -10,6 +10,8 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,8 +25,16 @@ import (
 type Console struct {
 	snap    atomic.Pointer[Snapshot]
 	metrics atomic.Pointer[[]byte]
-	pages   sync.Map // path → *[]byte, immutable payloads
+	pages   sync.Map // path → *page, immutable payloads
+	pprofOn atomic.Bool
 	srv     *http.Server
+}
+
+// page is one published console document: immutable payload plus its
+// content type.
+type page struct {
+	contentType string
+	payload     []byte
 }
 
 // NewConsole returns a console with an empty snapshot, so endpoints are
@@ -57,12 +67,27 @@ func (c *Console) Snapshot() *Snapshot { return c.snap.Load() }
 // a nil payload unmounts the path. Safe to call from the simulation
 // goroutine while HTTP requests are in flight.
 func (c *Console) PublishJSON(path string, payload []byte) {
+	c.PublishPage(path, "application/json; charset=utf-8", payload)
+}
+
+// PublishPage mounts (or refreshes) an extra document at path with an
+// explicit content type (the perf layer publishes /metrics/runtime as an
+// OpenMetrics exposition). A nil payload unmounts the path. Same
+// immutability and concurrency contract as PublishJSON.
+func (c *Console) PublishPage(path, contentType string, payload []byte) {
 	if payload == nil {
 		c.pages.Delete(path)
 		return
 	}
-	c.pages.Store(path, &payload)
+	c.pages.Store(path, &page{contentType: contentType, payload: payload})
 }
+
+// EnablePprof mounts the net/http/pprof profiling handlers under
+// /debug/pprof/. Off by default: profiling endpoints expose process
+// internals and belong behind an explicit flag. pprof handlers only read
+// Go runtime state — never the registry or the simulation — so enabling
+// them cannot perturb deterministic output (golden-tested).
+func (c *Console) EnablePprof() { c.pprofOn.Store(true) }
 
 // ServeHTTP implements http.Handler, routing the three console endpoints.
 func (c *Console) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -79,9 +104,29 @@ func (c *Console) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		w.Write([]byte(dashboardHTML))
 	default:
+		if strings.HasPrefix(r.URL.Path, "/debug/pprof/") {
+			if !c.pprofOn.Load() {
+				http.NotFound(w, r)
+				return
+			}
+			switch r.URL.Path {
+			case "/debug/pprof/cmdline":
+				pprof.Cmdline(w, r)
+			case "/debug/pprof/profile":
+				pprof.Profile(w, r)
+			case "/debug/pprof/symbol":
+				pprof.Symbol(w, r)
+			case "/debug/pprof/trace":
+				pprof.Trace(w, r)
+			default:
+				pprof.Index(w, r)
+			}
+			return
+		}
 		if p, ok := c.pages.Load(r.URL.Path); ok {
-			w.Header().Set("Content-Type", "application/json; charset=utf-8")
-			w.Write(*p.(*[]byte))
+			pg := p.(*page)
+			w.Header().Set("Content-Type", pg.contentType)
+			w.Write(pg.payload)
 			return
 		}
 		http.NotFound(w, r)

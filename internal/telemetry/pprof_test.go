@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPprofDisabledByDefault: the profiling endpoints 404 until explicitly
+// enabled — they expose process internals and must stay behind a flag.
+func TestPprofDisabledByDefault(t *testing.T) {
+	c := NewConsole()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap", "/debug/pprof/cmdline"} {
+		if rec := get(t, c, path); rec.Code != 404 {
+			t.Errorf("%s served %d with pprof disabled, want 404", path, rec.Code)
+		}
+	}
+}
+
+// TestPprofEndpointsServeWhenEnabled: after EnablePprof the index and the
+// runtime profiles answer.
+func TestPprofEndpointsServeWhenEnabled(t *testing.T) {
+	c := NewConsole()
+	c.EnablePprof()
+	rec := get(t, c, "/debug/pprof/")
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Errorf("/debug/pprof/ index: code %d", rec.Code)
+	}
+	for _, path := range []string{"/debug/pprof/heap", "/debug/pprof/goroutine", "/debug/pprof/cmdline"} {
+		if rec := get(t, c, path); rec.Code != 200 || rec.Body.Len() == 0 {
+			t.Errorf("%s: code %d, %d bytes", path, rec.Code, rec.Body.Len())
+		}
+	}
+}
+
+// TestPprofDoesNotLeakIntoMetrics is the golden satellite: the OpenMetrics
+// exposition served at /metrics must be byte-identical with profiling
+// enabled and disabled — mounting pprof cannot change deterministic
+// output, and pprof paths must not shadow published pages.
+func TestPprofDoesNotLeakIntoMetrics(t *testing.T) {
+	reg := New()
+	reg.Counter("tg_jobs_total", "jobs", "machine").With("abe").Add(17)
+	reg.Gauge("tg_utilization", "busy", "machine").With("abe").Set(0.5)
+	var om bytes.Buffer
+	if err := reg.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+
+	serve := func(pprofOn bool) (metrics, status string) {
+		c := NewConsole()
+		if pprofOn {
+			c.EnablePprof()
+		}
+		c.Update(&Snapshot{SimTime: 60, SimTimeHuman: "0:00:01:00"}, om.Bytes())
+		c.PublishJSON("/modalities", []byte("{}\n"))
+		return get(t, c, "/metrics").Body.String(), get(t, c, "/modalities").Body.String()
+	}
+
+	offM, offP := serve(false)
+	onM, onP := serve(true)
+	if offM != onM {
+		t.Errorf("/metrics differs with pprof enabled:\noff: %q\non:  %q", offM, onM)
+	}
+	if offP != onP {
+		t.Errorf("published page differs with pprof enabled: %q vs %q", offP, onP)
+	}
+	if !strings.HasSuffix(onM, "# EOF\n") {
+		t.Error("exposition lost its terminator")
+	}
+	if strings.Contains(onM, "pprof") {
+		t.Error("pprof state leaked into the exposition")
+	}
+}

@@ -44,6 +44,23 @@ type Snapshot struct {
 	// Stream is the streaming-observatory ingest state (nil when no stream
 	// processor is attached).
 	Stream *StreamSnap `json:"stream,omitempty"`
+	// Runtime is the Go runtime slice (nil unless a perf.RuntimeSampler is
+	// attached). Wall-clock-only: it describes the host process, varies run
+	// to run, and is never part of exported artifacts or determinism diffs.
+	Runtime *RuntimeSnap `json:"runtime,omitempty"`
+}
+
+// RuntimeSnap is the Go-runtime slice of a snapshot: host-process state
+// (heap, GC, goroutines, throughput) sampled on the snapshot cadence.
+// Every field is wall-clock-dependent by nature.
+type RuntimeSnap struct {
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64  `json:"heap_sys_bytes"`
+	HeapObjects    uint64  `json:"heap_objects"`
+	GCCycles       uint32  `json:"gc_cycles"`
+	GCPauseMS      float64 `json:"gc_pause_ms"` // cumulative stop-the-world
+	Goroutines     int     `json:"goroutines"`
+	EventsPerSec   float64 `json:"events_per_sec"`
 }
 
 // StreamSnap is the stream-processor slice of a snapshot: how much the
