@@ -119,6 +119,7 @@ func run() error {
 		{"OV", func() (fmt.Stringer, error) { return experiments.OverlapTable(*seed, sc) }},
 		{"MA", func() (fmt.Stringer, error) { return experiments.MaintenanceTable(*seed, sc) }},
 		{"SL", func() (fmt.Stringer, error) { return experiments.SLOTable(*seed, sc) }},
+		{"PX", func() (fmt.Stringer, error) { return experiments.PXPolicyEngines(*seed, sc) }},
 		{"FL", func() (fmt.Stringer, error) {
 			t, _, err := experiments.FLFleetScaling(*seed, sc)
 			return t, err

@@ -76,7 +76,7 @@ func main() {
 func run() error {
 	seed := flag.Uint64("seed", 1, "scenario seed")
 	days := flag.Float64("days", 30, "simulated horizon in days")
-	policy := flag.String("policy", "easy", "batch policy: fcfs, easy, conservative, fairshare")
+	policy := flag.String("policy", "easy", "batch policy engine: fcfs, easy, conservative, fairshare, gang, priority")
 	tracePath := flag.String("trace", "", "write the accounting trace (JSON lines) to this file")
 	quiet := flag.Bool("quiet", false, "suppress tables; print one summary line")
 	maintDays := flag.Float64("maintenance-every", 0, "schedule recurring maintenance every N days (0 = none)")
@@ -597,7 +597,7 @@ func run() error {
 	util := report.NewTable("Machine utilization", "machine", "cores", "utilization", "preemptions")
 	for _, m := range res.Federation.Machines() {
 		s := res.Schedulers[m.ID]
-		util.AddRowf(m.ID, m.BatchCores(), report.Percent(s.Utilization()), int(s.Preemptions()))
+		util.AddRowf(m.ID, m.BatchCores(), report.Percent(s.Utilization()), int(s.Stats().Preemptions))
 	}
 	if err := util.WriteText(os.Stdout); err != nil {
 		return err

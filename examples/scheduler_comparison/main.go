@@ -51,11 +51,11 @@ func main() {
 	specs := buildWorkload(n)
 	t := report.NewTable("Policy comparison on an identical 8,000-job stream",
 		"policy", "utilization", "mean wait (h)", "P95 wait (h)", "mean bounded slowdown")
-	for _, pol := range []sched.Policy{sched.FCFS, sched.EASY, sched.Conservative} {
+	for _, pol := range []string{"fcfs", "easy", "conservative"} {
 		k := des.New()
 		m := &grid.Machine{ID: "bench", Site: "s", Nodes: 512, CoresPerNode: 8,
 			GFlopsPerCore: 4, NUPerCoreHour: 1}
-		s := sched.New(k, m, pol)
+		s := sched.MustNamed(k, m, pol)
 		jobs := make([]*job.Job, n)
 		for i, spec := range specs {
 			jobs[i] = &job.Job{
@@ -71,7 +71,7 @@ func main() {
 			wait.Add(float64(j.WaitTime()) / 3600)
 			slow.Add(j.BoundedSlowdown())
 		}
-		t.AddRowf(pol.String(), report.Percent(s.Utilization()),
+		t.AddRowf(pol, report.Percent(s.Utilization()),
 			wait.Mean(), wait.Percentile(95), slow.Mean())
 	}
 	fmt.Println(t)

@@ -46,9 +46,9 @@ func main() {
 	// Phase 3: replay onto a machine half the size, both policies.
 	t := report.NewTable("Replay on a half-size machine",
 		"policy", "finished", "mean wait (h)", "P95 wait (h)", "utilization")
-	for _, pol := range []sched.Policy{sched.FCFS, sched.EASY} {
+	for _, pol := range []string{"fcfs", "easy"} {
 		finished, waits, util := replay(parsed, pol)
-		t.AddRowf(pol.String(), finished, waits.Mean(), waits.Percentile(95),
+		t.AddRowf(pol, finished, waits.Mean(), waits.Percentile(95),
 			report.Percent(util))
 	}
 	fmt.Println(t)
@@ -61,7 +61,7 @@ func record() []accounting.JobRecord {
 	k := des.New()
 	m := &grid.Machine{ID: "orig", Site: "s", Nodes: 512, CoresPerNode: 8,
 		GFlopsPerCore: 4, NUPerCoreHour: 1.5}
-	s := sched.New(k, m, sched.EASY)
+	s := sched.MustNamed(k, m, "easy")
 	var recs []accounting.JobRecord
 	s.Subscribe(func(e sched.Event) {
 		if e.Kind == sched.EventFinished {
@@ -84,11 +84,11 @@ func record() []accounting.JobRecord {
 }
 
 // replay runs the parsed trace against a half-size machine.
-func replay(parsed []trace.Job, pol sched.Policy) (int, *metrics.Sample, float64) {
+func replay(parsed []trace.Job, pol string) (int, *metrics.Sample, float64) {
 	k := des.New()
 	m := &grid.Machine{ID: "half", Site: "s", Nodes: 256, CoresPerNode: 8,
 		GFlopsPerCore: 4, NUPerCoreHour: 1.5}
-	s := sched.New(k, m, pol)
+	s := sched.MustNamed(k, m, pol)
 	waits := &metrics.Sample{}
 	finished := 0
 	s.Subscribe(func(e sched.Event) {

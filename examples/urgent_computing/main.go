@@ -27,7 +27,7 @@ func main() {
 		ID: "mesa-ranger", Site: "mesa", Nodes: 512, CoresPerNode: 16, // 8192 cores
 		GFlopsPerCore: 2.3, NUPerCoreHour: 1.9, UrgentCapable: true,
 	}
-	s := sched.New(k, machine, sched.EASY)
+	s := sched.MustNamed(k, machine, "easy")
 	rng := simrand.New(99)
 
 	// Background batch load at ~85% of capacity for two weeks.
@@ -81,7 +81,7 @@ func main() {
 	}
 	fmt.Printf("background jobs: %d, preempted: %d (%.2f%%), total preemption events: %d\n",
 		len(background), preempted, 100*float64(preempted)/float64(len(background)),
-		s.Preemptions())
+		s.Stats().Preemptions)
 	fmt.Printf("background median wait %.2fh, P95 %.2fh\n",
 		waits.Median(), waits.Percentile(95))
 	fmt.Printf("machine utilization over the fortnight: %s\n",

@@ -41,7 +41,7 @@ func main() {
 	k := des.New()
 	m := &grid.Machine{ID: "hpc", Site: "s", Nodes: 256, CoresPerNode: 8,
 		GFlopsPerCore: 4, NUPerCoreHour: 1.4}
-	s := sched.New(k, m, sched.EASY)
+	s := sched.MustNamed(k, m, "easy")
 	rng := simrand.New(7)
 	ledger := accounting.NewLedger("s")
 	central := accounting.NewCentral()

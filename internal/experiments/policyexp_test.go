@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/tgsim/tgmod/internal/sched"
+)
+
+func TestPXPolicyEngines(t *testing.T) {
+	tab, err := PXPolicyEngines(testSeed, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := sched.EngineNames()
+	if tab.Rows() != len(engines) {
+		t.Fatalf("PX rows = %d, want one per engine (%d)", tab.Rows(), len(engines))
+	}
+	cell := func(r, c int) float64 {
+		v, _ := strconv.ParseFloat(strings.TrimSuffix(
+			strings.ReplaceAll(tab.Cell(r, c), ",", ""), "%"), 64)
+		return v
+	}
+	for r, name := range engines {
+		if got := tab.Cell(r, 0); got != name {
+			t.Fatalf("row %d policy = %q, want %q", r, got, name)
+		}
+		util := cell(r, 1)
+		if util <= 0 || util > 100 {
+			t.Errorf("%s utilization = %v%%, want (0,100]", name, util)
+		}
+		if w := cell(r, 2); w < 0 {
+			t.Errorf("%s mean wait = %v, want >= 0", name, w)
+		}
+		met := tab.Cell(r, 9)
+		if met != "yes" && met != "no" {
+			t.Errorf("%s SLO met = %q, want yes/no", name, met)
+		}
+		if met == "yes" && tab.Cell(r, 10) != "-" {
+			t.Errorf("%s met all SLOs but lists failures %q", name, tab.Cell(r, 10))
+		}
+	}
+	// The engines run the same workload: wait profiles must not be all
+	// identical (that would mean the policy knob is dead).
+	base := tab.Cell(0, 2)
+	same := true
+	for r := 1; r < tab.Rows(); r++ {
+		if tab.Cell(r, 2) != base {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("all engines report the identical mean wait; PX comparison is vacuous")
+	}
+}

@@ -65,10 +65,13 @@ func F3WaitBySize(seed uint64, sc Scale) (*report.Figure, error) {
 		n = 20000
 	}
 	f := report.NewFigure("F3: Mean queue wait (hours) by job size and policy", "size bin")
-	for _, pol := range []sched.Policy{sched.FCFS, sched.EASY, sched.Conservative, sched.FairShare} {
+	for _, pol := range []string{"fcfs", "easy", "conservative", "fairshare"} {
 		k := des.New()
-		s := sched.New(k, schedulerMachine(), pol)
-		rng := simrand.Derive(seed, "f3-"+pol.String())
+		s, err := sched.NewNamed(k, schedulerMachine(), pol)
+		if err != nil {
+			return nil, err
+		}
+		rng := simrand.Derive(seed, "f3-"+pol)
 		jobs := syntheticStream(k, s, rng, n, 0.9)
 		k.Run()
 		waits := map[string]*metrics.Summary{}
@@ -82,7 +85,7 @@ func F3WaitBySize(seed uint64, sc Scale) (*report.Figure, error) {
 			}
 			waits[b].Add(float64(j.WaitTime()) / 3600)
 		}
-		series := f.AddSeries(pol.String())
+		series := f.AddSeries(pol)
 		for _, b := range sizeBinsUsed() {
 			if w, ok := waits[b]; ok {
 				series.Add(b, w.Mean())
@@ -103,11 +106,14 @@ func F4Utilization(seed uint64, sc Scale) (*report.Figure, error) {
 	}
 	loads := []float64{0.5, 0.7, 0.85, 0.95, 1.1}
 	f := report.NewFigure("F4: Achieved utilization vs offered load by policy", "offered load")
-	for _, pol := range []sched.Policy{sched.FCFS, sched.EASY, sched.Conservative, sched.FairShare} {
-		series := f.AddSeries(pol.String())
+	for _, pol := range []string{"fcfs", "easy", "conservative", "fairshare"} {
+		series := f.AddSeries(pol)
 		for _, load := range loads {
 			k := des.New()
-			s := sched.New(k, schedulerMachine(), pol)
+			s, err := sched.NewNamed(k, schedulerMachine(), pol)
+			if err != nil {
+				return nil, err
+			}
 			rng := simrand.Derive(seed, fmt.Sprintf("f4-%s-%v", pol, load))
 			jobs := syntheticStream(k, s, rng, n, load)
 			k.Run()
@@ -156,7 +162,10 @@ func F5Urgent(seed uint64, sc Scale) (*report.Table, error) {
 	for _, v := range variants {
 		perDay, ckpt := v.perDay, v.ckpt
 		k := des.New()
-		s := sched.New(k, schedulerMachine(), sched.EASY)
+		s, err := sched.NewNamed(k, schedulerMachine(), "easy")
+		if err != nil {
+			return nil, err
+		}
 		s.CheckpointRestart = ckpt
 		rng := simrand.Derive(seed, fmt.Sprintf("f5-%v", perDay))
 		// Exact lost work: on every preemption, the time executed since
@@ -207,7 +216,7 @@ func F5Urgent(seed uint64, sc Scale) (*report.Table, error) {
 		if ckpt {
 			mode = "checkpoint"
 		}
-		t.AddRowf(perDay, mode, len(urgents), uWait.Mean(), int(s.Preemptions()),
+		t.AddRowf(perDay, mode, len(urgents), uWait.Mean(), int(s.Stats().Preemptions),
 			lostCoreHours, normWait.Percentile(95))
 	}
 	return t, nil

@@ -81,8 +81,8 @@ func newRig(t *testing.T, seed uint64, cfg Config) *rig {
 		GFlopsPerCore: 4, NUPerCoreHour: 1, UrgentCapable: true}
 	m2 := &grid.Machine{ID: "m2", Site: "sB", Nodes: 8, CoresPerNode: 8,
 		GFlopsPerCore: 4, NUPerCoreHour: 1}
-	s1 := sched.New(k, m1, sched.EASY)
-	s2 := sched.New(k, m2, sched.EASY)
+	s1 := sched.MustNamed(k, m1, "easy")
+	s2 := sched.MustNamed(k, m2, "easy")
 	broker := metasched.New(k, metasched.LeastLoaded, simrand.Derive(seed, "broker"),
 		[]*sched.Scheduler{s1, s2})
 	topo := network.NewTopology()
@@ -159,7 +159,7 @@ func TestInjectorCrashesFailoverVictims(t *testing.T) {
 	if r.broker.Failovers() != st.Failovers {
 		t.Errorf("broker failover counter %d != injector %d", r.broker.Failovers(), st.Failovers)
 	}
-	if r.scheds[0].Crashes()+r.scheds[1].Crashes() != st.MachineCrashes {
+	if r.scheds[0].Stats().Crashes+r.scheds[1].Stats().Crashes != st.MachineCrashes {
 		t.Error("scheduler crash counters disagree with injector")
 	}
 	// Kills charge wasted work somewhere.
@@ -292,7 +292,7 @@ func TestCrashVictimRequeuedWhenNoHealthyMachine(t *testing.T) {
 	k := des.New()
 	m := &grid.Machine{ID: "solo", Site: "sA", Nodes: 8, CoresPerNode: 8,
 		GFlopsPerCore: 4, NUPerCoreHour: 1}
-	s := sched.New(k, m, sched.FCFS)
+	s := sched.MustNamed(k, m, "fcfs")
 	broker := metasched.New(k, metasched.LeastLoaded, simrand.Derive(1, "broker"),
 		[]*sched.Scheduler{s})
 	inj := New(k, crashOnlyConfig(), 1)

@@ -26,8 +26,8 @@ func twoMachines(k *des.Kernel) []*sched.Scheduler {
 	small := &grid.Machine{ID: "small", Site: "s2", Nodes: 8, CoresPerNode: 8,
 		GFlopsPerCore: 2, NUPerCoreHour: 1} // 64 cores
 	return []*sched.Scheduler{
-		sched.New(k, big, sched.EASY),
-		sched.New(k, small, sched.EASY),
+		sched.MustNamed(k, big, "easy"),
+		sched.MustNamed(k, small, "easy"),
 	}
 }
 

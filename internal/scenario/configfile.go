@@ -150,7 +150,7 @@ func FromConfig(cfg Config) (*ConfigFile, error) {
 		Seed:              cfg.Seed,
 		HorizonDays:       float64(cfg.Horizon / des.Day),
 		DrainDays:         float64(cfg.DrainTime / des.Day),
-		Policy:            cfg.Policy.String(),
+		Policy:            cfg.Policy,
 		BrokerPolicy:      cfg.BrokerPolicy.String(),
 		BrokerTagCoverage: cfg.BrokerTagCoverage,
 		Users:             cfg.Users,
@@ -199,20 +199,16 @@ func FromConfig(cfg Config) (*ConfigFile, error) {
 	return cf, nil
 }
 
-// ParsePolicy converts a policy name to the sched constant.
-func ParsePolicy(s string) (sched.Policy, error) {
-	switch s {
-	case "fcfs":
-		return sched.FCFS, nil
-	case "easy", "":
-		return sched.EASY, nil
-	case "conservative":
-		return sched.Conservative, nil
-	case "fairshare":
-		return sched.FairShare, nil
-	default:
-		return 0, fmt.Errorf("scenario: unknown policy %q", s)
+// ParsePolicy validates a policy engine name against the sched registry
+// and returns its canonical form ("" defaults to "easy").
+func ParsePolicy(s string) (string, error) {
+	if s == "" {
+		return "easy", nil
 	}
+	if _, err := sched.NewEngine(s); err != nil {
+		return "", fmt.Errorf("scenario: unknown policy %q (have %v)", s, sched.EngineNames())
+	}
+	return s, nil
 }
 
 // ParseBrokerPolicy converts a broker policy name to its constant.

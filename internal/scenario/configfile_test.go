@@ -6,7 +6,6 @@ import (
 	"testing"
 
 	"github.com/tgsim/tgmod/internal/metasched"
-	"github.com/tgsim/tgmod/internal/sched"
 )
 
 func TestConfigFileRoundTrip(t *testing.T) {
@@ -104,9 +103,10 @@ func TestDecodeConfigFileErrors(t *testing.T) {
 }
 
 func TestParsePolicies(t *testing.T) {
-	for name, want := range map[string]sched.Policy{
-		"fcfs": sched.FCFS, "easy": sched.EASY, "": sched.EASY,
-		"conservative": sched.Conservative, "fairshare": sched.FairShare,
+	for name, want := range map[string]string{
+		"fcfs": "fcfs", "easy": "easy", "": "easy",
+		"conservative": "conservative", "fairshare": "fairshare",
+		"gang": "gang", "priority": "priority",
 	} {
 		got, err := ParsePolicy(name)
 		if err != nil || got != want {

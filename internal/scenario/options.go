@@ -11,7 +11,6 @@ import (
 	"github.com/tgsim/tgmod/internal/des"
 	"github.com/tgsim/tgmod/internal/grid"
 	"github.com/tgsim/tgmod/internal/metasched"
-	"github.com/tgsim/tgmod/internal/sched"
 	"github.com/tgsim/tgmod/internal/users"
 	"github.com/tgsim/tgmod/internal/workload"
 )
@@ -54,9 +53,9 @@ func WithDrain(d des.Time) Option {
 	return func(c *Config) { c.DrainTime = d }
 }
 
-// WithPolicy sets the batch policy used at every site.
-func WithPolicy(p sched.Policy) Option {
-	return func(c *Config) { c.Policy = p }
+// WithPolicy sets the batch policy engine (by name) used at every site.
+func WithPolicy(name string) Option {
+	return func(c *Config) { c.Policy = name }
 }
 
 // WithBrokerPolicy sets the metascheduler's selection policy.

@@ -124,8 +124,8 @@ type Config struct {
 	Horizon des.Time
 	// DrainTime: extra time after the horizon for queues to empty.
 	DrainTime des.Time
-	// Policy is the batch policy at every site.
-	Policy sched.Policy
+	// Policy names the batch policy engine at every site (sched.EngineNames).
+	Policy string
 	// BrokerPolicy is the metascheduler's selection policy.
 	BrokerPolicy metasched.SelectPolicy
 	// BrokerTagCoverage is the probability broker jobs carry their tag.
@@ -186,7 +186,7 @@ func DefaultConfig(seed uint64) Config {
 		Seed:              seed,
 		Horizon:           90 * des.Day,
 		DrainTime:         14 * des.Day,
-		Policy:            sched.EASY,
+		Policy:            "easy",
 		BrokerPolicy:      metasched.BestEstimated,
 		BrokerTagCoverage: 1.0,
 		Users:             users.DefaultConfig(),
@@ -363,7 +363,10 @@ func Run(cfg Config) (*Result, error) {
 	archiveRNG := simrand.Derive(cfg.Seed, "archive")
 	for _, m := range fed.Machines() {
 		m := m
-		s := sched.New(k, m, cfg.Policy)
+		s, err := sched.NewNamed(k, m, cfg.Policy)
+		if err != nil {
+			return nil, err
+		}
 		if cfg.CheckpointRestart {
 			s.CheckpointRestart = true
 			s.CheckpointInterval = cfg.CheckpointInterval

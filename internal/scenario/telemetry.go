@@ -73,11 +73,26 @@ func installTelemetry(reg *telemetry.Registry, k *des.Kernel, fed *grid.Federati
 		}
 	}
 
+	// Policy-engine state: age of the longest-waiting queued job, plus the
+	// aging/gang counters engines report through Stats().Engine. Legacy
+	// engines report zeros; the series exist either way so dashboards need
+	// no per-policy wiring.
+	queueAge := reg.Gauge("tg_sched_queue_age_seconds", "Age of the oldest queued job.", "machine")
+	skipsG := reg.Gauge("tg_sched_backfill_skips", "Backfill skip charges accumulated by the priority engine.", "machine")
+	escalG := reg.Gauge("tg_sched_age_escalations", "Jobs escalated past the max-skip starvation bound.", "machine")
+	holdsG := reg.Gauge("tg_sched_gang_holds", "Assembly holds placed by the gang engine.", "machine")
+	gangsG := reg.Gauge("tg_sched_gang_starts", "All-or-nothing gang launches.", "machine")
+
 	for _, m := range fed.Machines() {
 		m := m
 		s := scheds[m.ID]
 		cores := float64(m.BatchCores())
 		queueDepth.Func(func() float64 { return float64(s.QueueLen()) }, m.ID)
+		queueAge.Func(func() float64 { return float64(s.OldestQueuedAge()) }, m.ID)
+		skipsG.Func(func() float64 { return float64(s.Stats().Engine.Skips) }, m.ID)
+		escalG.Func(func() float64 { return float64(s.Stats().Engine.Escalations) }, m.ID)
+		holdsG.Func(func() float64 { return float64(s.Stats().Engine.GangHolds) }, m.ID)
+		gangsG.Func(func() float64 { return float64(s.Stats().Engine.GangStarts) }, m.ID)
 		runningJobs.Func(func() float64 { return float64(s.RunningCount()) }, m.ID)
 		utilization.Func(func() float64 {
 			if cores == 0 {

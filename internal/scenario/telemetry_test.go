@@ -102,6 +102,8 @@ func TestTelemetryFamiliesPopulated(t *testing.T) {
 	for _, fam := range []string{
 		"tg_jobs_total", "tg_queue_depth", "tg_running_jobs", "tg_utilization",
 		"tg_queue_wait_seconds", "tg_sched_decisions_total",
+		"tg_sched_queue_age_seconds", "tg_sched_backfill_skips",
+		"tg_sched_age_escalations", "tg_sched_gang_holds", "tg_sched_gang_starts",
 		"tg_jobs_by_modality_total", "tg_nus_by_modality_total",
 		"tg_transfers_completed_total", "tg_transfer_duration_seconds",
 		"tg_gateway_requests_total", "tg_kernel_events", "tg_jobs_finished",

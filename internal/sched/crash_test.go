@@ -28,8 +28,8 @@ func TestCrashKillsRunningAndBlocksRestarts(t *testing.T) {
 	if len(victims) != 1 || victims[0] != j {
 		t.Fatalf("victims = %v, want the running job", victims)
 	}
-	if s.Crashes() != 1 || s.CrashKills() != 1 {
-		t.Errorf("crash counters = %d/%d, want 1/1", s.Crashes(), s.CrashKills())
+	if st := s.Stats(); st.Crashes != 1 || st.CrashKills != 1 {
+		t.Errorf("crash counters = %d/%d, want 1/1", st.Crashes, st.CrashKills)
 	}
 	// 100 s of execution on 64 cores was lost (no checkpointing).
 	if got := j.WastedCoreSeconds; got != 100*64 {
@@ -174,8 +174,8 @@ func TestNodeFailureShrinksCapacityAndKills(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if s.NodeFailures() != 1 || s.NodeKills() != 1 {
-		t.Errorf("node-failure counters = %d/%d, want 1/1", s.NodeFailures(), s.NodeKills())
+	if st := s.Stats(); st.NodeFailures != 1 || st.NodeKills != 1 {
+		t.Errorf("node-failure counters = %d/%d, want 1/1", st.NodeFailures, st.NodeKills)
 	}
 	if a.State != job.StateCompleted || a.EndTime != 1000 {
 		t.Errorf("survivor a ended %v in state %v, want 1000/completed", a.EndTime, a.State)

@@ -1,13 +1,17 @@
 // Package sched implements the local resource managers that run each
-// machine's batch system: FCFS, EASY backfill, and conservative backfill
-// policies; a separate interactive/visualization partition; preemptive
-// on-demand (urgent) computing; and advance reservations used by the
-// metascheduler for cross-site co-allocation.
+// machine's batch system behind a pluggable PolicyEngine seam: FCFS, EASY
+// backfill, conservative backfill, fair-share, all-or-nothing gang, and
+// starvation-bounded priority engines; a separate interactive/visualization
+// partition; preemptive on-demand (urgent) computing; and advance
+// reservations used by the metascheduler for cross-site co-allocation.
 //
-// All policies honor two hard guarantees that make planning sound:
-// jobs are killed at their requested walltime, so a running job's cores are
-// certainly free by start+walltime; and no policy starts a job whose
-// (cores, walltime) rectangle would overlap a committed reservation.
+// The engine owns the batch queue and every start decision; the Scheduler
+// core owns the physical machine — partitions, running jobs, outages,
+// crashes, node losses, reservations, and accounting. All engines honor two
+// hard guarantees that make planning sound: jobs are killed at their
+// requested walltime, so a running job's cores are certainly free by
+// start+walltime; and no engine starts a job whose (cores, walltime)
+// rectangle would overlap a committed reservation.
 package sched
 
 import (
@@ -20,10 +24,18 @@ import (
 	"github.com/tgsim/tgmod/internal/job"
 )
 
-// Policy selects the batch scheduling algorithm.
+// Policy selects a batch scheduling algorithm by enum value.
+//
+// Deprecated: the enum is frozen at the four original policies and exists
+// only for source compatibility. Use engine names with NewNamed (or
+// NewEngine) instead; new engines are registered by name and never get
+// enum values.
 type Policy int
 
 // Batch scheduling policies.
+//
+// Deprecated: use engine names ("fcfs", "easy", "conservative",
+// "fairshare", "gang", "priority") with NewNamed.
 const (
 	FCFS         Policy = iota // strict first-come first-served
 	EASY                       // aggressive backfill with one reservation (head job)
@@ -31,7 +43,7 @@ const (
 	FairShare                  // EASY ordered by decayed per-user usage
 )
 
-// String returns the policy name.
+// String returns the policy's engine name.
 func (p Policy) String() string {
 	switch p {
 	case FCFS:
@@ -45,6 +57,20 @@ func (p Policy) String() string {
 	default:
 		return fmt.Sprintf("policy(%d)", int(p))
 	}
+}
+
+// PolicyByName maps a legacy engine name to its enum value.
+//
+// Deprecated: compat shim for callers still carrying Policy values. Only
+// the four original policies have enum values; "gang" and "priority" (and
+// any externally registered engine) are reachable only through NewNamed.
+func PolicyByName(name string) (Policy, error) {
+	for _, p := range []Policy{FCFS, EASY, Conservative, FairShare} {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("sched: no legacy Policy value for engine %q", name)
 }
 
 // Event is a job lifecycle notification delivered to listeners.
@@ -96,8 +122,9 @@ type Listener func(Event)
 
 // Probe receives scheduler-internal decision notifications that the
 // lifecycle Listener seam cannot express: backfill placements, urgent
-// preemption victim selection, reservation activations, and maintenance
-// window boundaries. The job is nil for machine-level events. A nil probe
+// preemption victim selection, reservation activations, maintenance
+// window boundaries, and engine-specific decisions (gang holds, aging
+// escalations). The job is nil for machine-level events. A nil probe
 // costs one comparison per decision.
 type Probe func(kind string, j *job.Job)
 
@@ -113,6 +140,9 @@ const (
 	ProbeNodeFail      = "node-fail"      // partial node failure began
 	ProbeNodeKill      = "node-kill"      // running job killed by node loss
 	ProbeNodeRestore   = "node-restore"   // failed nodes returned to service
+	ProbeGangHold      = "gang-hold"      // gang member granted an assembly hold
+	ProbeGangStart     = "gang-start"     // all-or-nothing gang launch
+	ProbeAgeEscalate   = "age-escalate"   // starved job escalated past the skip bound
 )
 
 // outage is an unavailability window — planned maintenance or unplanned
@@ -154,7 +184,7 @@ type running struct {
 type Scheduler struct {
 	K      *des.Kernel
 	M      *grid.Machine
-	policy Policy
+	engine PolicyEngine
 	// CheckpointRestart, when true, lets preempted jobs resume from a
 	// checkpoint: only work since the last checkpoint interval boundary is
 	// lost, instead of the whole run. Production urgent-computing
@@ -166,17 +196,16 @@ type Scheduler struct {
 	// this much walltime per completed checkpoint interval to every run —
 	// the cost of writing the checkpoint. Zero models free checkpoints.
 	CheckpointOverhead des.Time
-	// FairShareHalfLife controls usage decay under the FairShare policy
+	// FairShareHalfLife controls usage decay under the fairshare engine
 	// (default 7 days): a user's past consumption halves every half-life,
 	// so a usage burst stops penalizing its owner after a few periods.
 	FairShareHalfLife des.Time
-	// fsUsage tracks decayed per-user core-seconds for FairShare ordering.
+	// fsUsage tracks decayed per-user core-seconds for fairshare ordering.
 	fsUsage map[string]*fsEntry
 
 	freeBatch int
 	freeViz   int
 
-	queue      []*job.Job // normal-QOS batch queue, FIFO order
 	vizQueue   []*job.Job // interactive partition queue
 	running    map[job.ID]*running
 	resvs      []*reservation
@@ -190,13 +219,7 @@ type Scheduler struct {
 	// Statistics.
 	busyIntegral float64  // core-seconds of batch occupancy
 	lastAccum    des.Time // last time busyIntegral was updated
-	started      uint64
-	finished     uint64
-	preemptions  uint64
-	crashes      uint64
-	crashKills   uint64
-	nodeFails    uint64
-	nodeKills    uint64
+	stats        Stats
 	// reschedule guard: a listener reacting to a lifecycle event may submit
 	// more work synchronously; instead of recursing, the outer reschedule
 	// loops again.
@@ -216,18 +239,66 @@ type Scheduler struct {
 	estTail      des.Time
 }
 
+// Stats is a point-in-time snapshot of a scheduler's lifetime counters.
+type Stats struct {
+	Started      uint64 // jobs started (batch + viz)
+	Finished     uint64 // jobs finished (completed or walltime-killed)
+	Preemptions  uint64 // urgent preemptions plus unplanned kills
+	Crashes      uint64 // whole-machine crash events
+	CrashKills   uint64 // running jobs killed by crashes
+	NodeFailures uint64 // partial node-failure events
+	NodeKills    uint64 // running jobs killed by node losses
+	// Engine holds engine-specific counters (gang holds, aging
+	// escalations); zero-valued for engines without those mechanisms.
+	Engine EngineStats
+}
+
 // fsEntry is one user's decayed usage accumulator.
 type fsEntry struct {
 	usage float64
 	at    des.Time
 }
 
-// New returns a scheduler for machine m driven by kernel k.
+// New returns a scheduler for machine m using a legacy enum policy.
+//
+// Deprecated: use NewNamed with an engine name, which reaches every
+// registered engine instead of only the four enum values.
 func New(k *des.Kernel, m *grid.Machine, policy Policy) *Scheduler {
+	s, err := NewNamed(k, m, policy.String())
+	if err != nil {
+		panic("sched: " + err.Error())
+	}
+	return s
+}
+
+// NewNamed returns a scheduler for machine m driven by kernel k, running
+// the named policy engine from the registry.
+func NewNamed(k *des.Kernel, m *grid.Machine, engine string) (*Scheduler, error) {
+	e, err := NewEngine(engine)
+	if err != nil {
+		return nil, err
+	}
+	return NewWith(k, m, e), nil
+}
+
+// MustNamed is NewNamed for compile-time-literal engine names; it panics
+// on an unknown name. Meant for examples and tests.
+func MustNamed(k *des.Kernel, m *grid.Machine, engine string) *Scheduler {
+	s, err := NewNamed(k, m, engine)
+	if err != nil {
+		panic("sched: " + err.Error())
+	}
+	return s
+}
+
+// NewWith returns a scheduler for machine m around a caller-built engine
+// instance (registered or not). The engine must not be shared between
+// schedulers.
+func NewWith(k *des.Kernel, m *grid.Machine, e PolicyEngine) *Scheduler {
 	return &Scheduler{
 		K:         k,
 		M:         m,
-		policy:    policy,
+		engine:    e,
 		freeBatch: m.BatchCores(),
 		freeViz:   m.VizCores(),
 		running:   make(map[job.ID]*running),
@@ -235,8 +306,8 @@ func New(k *des.Kernel, m *grid.Machine, policy Policy) *Scheduler {
 	}
 }
 
-// Policy returns the active batch policy.
-func (s *Scheduler) Policy() Policy { return s.policy }
+// EngineName returns the active policy engine's registry name.
+func (s *Scheduler) EngineName() string { return s.engine.Name() }
 
 // Subscribe registers a lifecycle listener.
 func (s *Scheduler) Subscribe(l Listener) { s.listeners = append(s.listeners, l) }
@@ -262,26 +333,36 @@ func (s *Scheduler) probe(kind string, j *job.Job) {
 func (s *Scheduler) FreeBatchCores() int { return s.freeBatch }
 
 // QueueLen returns the number of jobs waiting in the batch queue.
-func (s *Scheduler) QueueLen() int { return len(s.queue) }
+func (s *Scheduler) QueueLen() int { return s.engine.Len() }
 
 // RunningCount returns the number of executing jobs.
 func (s *Scheduler) RunningCount() int { return len(s.running) }
 
-// Started and Finished return lifetime counters.
-func (s *Scheduler) Started() uint64  { return s.started }
-func (s *Scheduler) Finished() uint64 { return s.finished }
+// Stats returns a snapshot of the scheduler's lifetime counters,
+// including engine-specific ones.
+func (s *Scheduler) Stats() Stats {
+	st := s.stats
+	if r, ok := s.engine.(statsReporter); ok {
+		st.Engine = r.EngineStats()
+	}
+	return st
+}
 
-// Preemptions returns the number of urgent preemptions performed.
-func (s *Scheduler) Preemptions() uint64 { return s.preemptions }
-
-// Crashes and CrashKills return unplanned-crash counters: crash events and
-// running jobs killed by them.
-func (s *Scheduler) Crashes() uint64    { return s.crashes }
-func (s *Scheduler) CrashKills() uint64 { return s.crashKills }
-
-// NodeFailures and NodeKills return partial node-failure counters.
-func (s *Scheduler) NodeFailures() uint64 { return s.nodeFails }
-func (s *Scheduler) NodeKills() uint64    { return s.nodeKills }
+// OldestQueuedAge returns how long the longest-waiting queued batch job
+// has been in the queue, or zero when the queue is empty.
+func (s *Scheduler) OldestQueuedAge() des.Time {
+	queued := s.engine.Queued()
+	if len(queued) == 0 {
+		return 0
+	}
+	oldest := queued[0].SubmitTime
+	for _, j := range queued[1:] {
+		if j.SubmitTime < oldest {
+			oldest = j.SubmitTime
+		}
+	}
+	return s.K.Now() - oldest
+}
 
 // Utilization returns the time-averaged fraction of batch cores busy since
 // simulation start.
@@ -336,7 +417,7 @@ func (s *Scheduler) Submit(j *job.Job) {
 			return
 		}
 		j.State = job.StateQueued
-		s.queue = append(s.queue, j)
+		s.engine.Push(j)
 		s.emit(EventQueued, j)
 		s.reschedule()
 	}
@@ -470,6 +551,9 @@ func (s *Scheduler) addOutage(start, end des.Time) *outage {
 				return
 			}
 			s.probe(ProbeOutageBegin, nil)
+			// The window just blanked the machine: engine-held claims on
+			// future capacity are void, all at once.
+			s.engine.Disrupted(s)
 			// Preempt stragglers (only possible when the outage was
 			// announced with less lead time than running walltimes).
 			var victims []*running
@@ -503,7 +587,7 @@ func (s *Scheduler) addOutage(start, end des.Time) *outage {
 	return o
 }
 
-// reschedule runs the active policy over the batch queue.
+// reschedule runs the active policy engine over the batch queue.
 func (s *Scheduler) reschedule() {
 	if s.rescheduling {
 		s.needReschedule = true
@@ -514,16 +598,7 @@ func (s *Scheduler) reschedule() {
 	defer func() { s.rescheduling = false }()
 	for {
 		s.needReschedule = false
-		switch s.policy {
-		case FCFS:
-			s.scheduleFCFS()
-		case EASY:
-			s.scheduleEASY()
-		case Conservative:
-			s.scheduleConservative()
-		case FairShare:
-			s.scheduleFairShare()
-		}
+		s.engine.Schedule(s)
 		if !s.needReschedule {
 			return
 		}
@@ -563,126 +638,11 @@ func (s *Scheduler) fsCharge(user string, coreSeconds float64) {
 	e.at = s.K.Now()
 }
 
-// scheduleFairShare runs EASY over the queue re-ordered by decayed usage
-// (lightest consumers first; ties by submit order). The priority order is
-// realized by permuting the queue, then delegating to the EASY pass — the
-// fairness policy is purely an ordering policy.
-func (s *Scheduler) scheduleFairShare() {
-	sort.SliceStable(s.queue, func(a, b int) bool {
-		ua, ub := s.fsDecayed(s.queue[a].User), s.fsDecayed(s.queue[b].User)
-		if ua != ub {
-			return ua < ub
-		}
-		return s.queue[a].SubmitTime < s.queue[b].SubmitTime
-	})
-	s.scheduleEASY()
-}
-
 // startableNow reports whether j can start immediately under profile p
 // (which must already reflect running jobs and reservations).
 func (s *Scheduler) startableNow(p *profile, j *job.Job) bool {
 	now := s.K.Now()
 	return p.minFree(now, now+j.ReqWalltime) >= j.Cores
-}
-
-func (s *Scheduler) scheduleFCFS() {
-	p := s.buildProfile()
-	for len(s.queue) > 0 {
-		head := s.queue[0]
-		if !s.startableNow(p, head) {
-			return
-		}
-		s.queue = s.queue[1:]
-		s.startBatch(head, "")
-		p.subtract(s.K.Now(), s.K.Now()+head.ReqWalltime, head.Cores)
-	}
-}
-
-func (s *Scheduler) scheduleEASY() {
-	now := s.K.Now()
-	p := s.buildProfile()
-	// Start jobs in order while they fit.
-	for len(s.queue) > 0 {
-		head := s.queue[0]
-		if !s.startableNow(p, head) {
-			break
-		}
-		s.queue = s.queue[1:]
-		s.startBatch(head, "")
-		p.subtract(now, now+head.ReqWalltime, head.Cores)
-	}
-	if len(s.queue) == 0 {
-		return
-	}
-	if s.freeBatch == 0 {
-		return // nothing can backfill into zero free cores
-	}
-	// Reserve the earliest feasible slot for the head job, then backfill
-	// any later job that can start now without disturbing that slot. The
-	// scan depth is capped as production backfill schedulers do: deep
-	// queue positions almost never fit, and bounding the scan keeps
-	// reschedule cost flat under heavy backlog.
-	const maxBackfillScan = 256
-	head := s.queue[0]
-	shadow, ok := p.earliestFit(now, head.Cores, head.ReqWalltime)
-	if ok {
-		p.subtract(shadow, shadow+head.ReqWalltime, head.Cores)
-	}
-	i := 1
-	scanned := 0
-	for i < len(s.queue) && scanned < maxBackfillScan {
-		scanned++
-		cand := s.queue[i]
-		// Cheap rejection before the profile query.
-		if cand.Cores > s.freeBatch {
-			i++
-			continue
-		}
-		if s.startableNow(p, cand) {
-			s.queue = append(s.queue[:i], s.queue[i+1:]...)
-			s.probe(ProbeBackfill, cand)
-			s.startBatch(cand, "")
-			p.subtract(now, now+cand.ReqWalltime, cand.Cores)
-			if s.freeBatch == 0 {
-				return
-			}
-			continue
-		}
-		i++
-	}
-}
-
-func (s *Scheduler) scheduleConservative() {
-	now := s.K.Now()
-	p := s.buildProfile()
-	// Plan queued jobs in FIFO order; start the ones whose planned start
-	// is now. Each plan is committed into the profile so later jobs cannot
-	// delay earlier ones. Planning depth is capped: beyond the cap the
-	// plan horizon is so distant that a deep job could not start now
-	// anyway without jumping earlier jobs, so skipping the bookkeeping
-	// preserves behavior while bounding reschedule cost under backlog.
-	const maxPlan = 128
-	var started []int
-	for idx, j := range s.queue {
-		if idx >= maxPlan {
-			break
-		}
-		at, ok := p.earliestFit(now, j.Cores, j.ReqWalltime)
-		if !ok {
-			continue
-		}
-		p.subtract(at, at+j.ReqWalltime, j.Cores)
-		if at == now {
-			started = append(started, idx)
-		}
-	}
-	// Remove started jobs from the queue back-to-front to keep indexes valid.
-	for i := len(started) - 1; i >= 0; i-- {
-		idx := started[i]
-		j := s.queue[idx]
-		s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
-		s.startBatch(j, "")
-	}
 }
 
 // startBatch begins execution of a batch job immediately.
@@ -714,7 +674,7 @@ func (s *Scheduler) startBatch(j *job.Job, fromResID string) {
 		s.finish(r, killed)
 	})
 	s.running[j.ID] = r
-	s.started++
+	s.stats.Started++
 	s.emit(EventStarted, j)
 }
 
@@ -733,11 +693,9 @@ func (s *Scheduler) finish(r *running, killed bool) {
 	} else {
 		s.accumulate()
 		s.freeBatch += j.Cores
-		if s.policy == FairShare {
-			s.fsCharge(j.User, j.CoreSeconds())
-		}
+		s.engine.JobFinished(s, j)
 	}
-	s.finished++
+	s.stats.Finished++
 	s.emit(EventFinished, j)
 	if j.QOS == job.QOSInteractive {
 		s.dispatchViz()
@@ -779,7 +737,7 @@ func (s *Scheduler) startUrgent(j *job.Job) {
 	if j.Cores > s.freeBatch {
 		// Even preempting everything normal was not enough (urgent jobs or
 		// reservation claims hold the rest). Queue at the head.
-		s.queue = append([]*job.Job{j}, s.queue...)
+		s.engine.PushFront(j)
 		return
 	}
 	s.startBatch(j, "")
@@ -799,13 +757,13 @@ func (s *Scheduler) preempt(r *running) {
 	}
 	j.State = job.StatePreempted
 	j.Preemptions++
-	s.preemptions++
+	s.stats.Preemptions++
 	s.probe(ProbePreemptVictim, j)
 	s.emit(EventPreempted, j)
 	// Requeue at the head, preserving the original submit time so
 	// accumulated wait is reflected in metrics.
 	j.State = job.StateQueued
-	s.queue = append([]*job.Job{j}, s.queue...)
+	s.engine.PushFront(j)
 }
 
 // checkpointCredit credits completed checkpoint intervals against a stopped
@@ -858,7 +816,7 @@ func (s *Scheduler) killRunning(r *running, kind string) {
 	}
 	j.State = job.StatePreempted
 	j.Preemptions++
-	s.preemptions++
+	s.stats.Preemptions++
 	s.probe(kind, j)
 	s.emit(EventKilled, j)
 }
@@ -868,16 +826,18 @@ func (s *Scheduler) killRunning(r *running, kind string) {
 // out crashes like it does maintenance) is killed with its lost work
 // charged, and an unavailability window blocks new starts until repair.
 // The window merges with any overlapping maintenance window rather than
-// double-releasing cores. Victims are returned in job-ID order, in state
-// Preempted, for the caller to re-route. until must be in the future;
-// past-or-now values are clamped to an instant after now.
+// double-releasing cores. Engine-held assembly claims are released
+// atomically before victims are routed. Victims are returned in job-ID
+// order, in state Preempted, for the caller to re-route. until must be in
+// the future; past-or-now values are clamped to an instant after now.
 func (s *Scheduler) Crash(until des.Time) []*job.Job {
 	now := s.K.Now()
 	if until <= now {
 		until = now + 1e-9
 	}
-	s.crashes++
+	s.stats.Crashes++
 	s.probe(ProbeCrash, nil)
+	s.engine.Disrupted(s)
 	var victims []*running
 	for _, r := range s.running {
 		if r.j.QOS != job.QOSInteractive {
@@ -888,7 +848,7 @@ func (s *Scheduler) Crash(until des.Time) []*job.Job {
 	out := make([]*job.Job, 0, len(victims))
 	for _, v := range victims {
 		s.killRunning(v, ProbeCrashKill)
-		s.crashKills++
+		s.stats.CrashKills++
 		out = append(out, v.j)
 	}
 	s.addOutage(now, until)
@@ -901,7 +861,7 @@ func (s *Scheduler) Crash(until des.Time) []*job.Job {
 // scheduler. The complement of metasched failover: what stays, stays here.
 func (s *Scheduler) Requeue(j *job.Job) {
 	j.State = job.StateQueued
-	s.queue = append([]*job.Job{j}, s.queue...)
+	s.engine.PushFront(j)
 	s.stateVersion++
 	s.emit(EventQueued, j)
 	s.reschedule()
@@ -920,8 +880,11 @@ func (s *Scheduler) FailNodes(cores int, until des.Time) []*job.Job {
 	if cores > s.M.BatchCores() {
 		cores = s.M.BatchCores()
 	}
-	s.nodeFails++
+	s.stats.NodeFailures++
 	s.probe(ProbeNodeFail, nil)
+	// Capacity shrank under the engine: assembly holds sized for the old
+	// machine are void, all at once.
+	s.engine.Disrupted(s)
 	loss := &capLoss{start: now, end: until, cores: cores}
 	s.nodeLosses = append(s.nodeLosses, loss)
 	s.stateVersion++
@@ -967,15 +930,15 @@ func (s *Scheduler) FailNodes(cores int, until des.Time) []*job.Job {
 				break
 			}
 			s.killRunning(v, ProbeNodeKill)
-			s.nodeKills++
+			s.stats.NodeKills++
 			busy -= v.j.Cores
 			victims = append(victims, v.j)
 		}
 		sort.Slice(victims, func(a, b int) bool { return victims[a].ID < victims[b].ID })
-		// Prepend in reverse so the lowest job ID ends up at the head.
+		// Push front in reverse so the lowest job ID ends up at the head.
 		for i := len(victims) - 1; i >= 0; i-- {
 			victims[i].State = job.StateQueued
-			s.queue = append([]*job.Job{victims[i]}, s.queue...)
+			s.engine.PushFront(victims[i])
 		}
 		for _, v := range victims {
 			s.emit(EventQueued, v)
@@ -1009,7 +972,7 @@ func (s *Scheduler) dispatchViz() {
 			s.finish(r, killed)
 		})
 		s.running[head.ID] = r
-		s.started++
+		s.stats.Started++
 		s.emit(EventStarted, head)
 	}
 }
@@ -1017,7 +980,7 @@ func (s *Scheduler) dispatchViz() {
 // ---- Advance reservations ----
 
 // Reserve commits cores over [start, end). The reservation is honored by
-// all policies: no job may be started whose execution rectangle would
+// all engines: no job may be started whose execution rectangle would
 // overlap it. Returns an error when the request is infeasible against
 // currently running jobs and existing reservations.
 func (s *Scheduler) Reserve(id string, cores int, start, end des.Time) error {
@@ -1126,22 +1089,23 @@ func (s *Scheduler) EstimateStart(cores int, walltime des.Time) (des.Time, bool)
 		// planning keeps estimates honest at normal depths — a truncated
 		// plan would bias optimistic exactly when predictions matter —
 		// while the aggregate tail keeps the call linear when a queue has
-		// blown up.
+		// blown up. The queue is planned in the engine's priority order.
 		const maxDetailed = 1000
-		detail := len(s.queue)
+		queued := s.engine.Queued()
+		detail := len(queued)
 		if detail > maxDetailed {
 			detail = maxDetailed
 		}
-		for _, q := range s.queue[:detail] {
+		for _, q := range queued[:detail] {
 			at, ok := p.earliestFit(s.K.Now(), q.Cores, q.ReqWalltime)
 			if ok {
 				p.subtract(at, at+q.ReqWalltime, q.Cores)
 			}
 		}
 		var tail des.Time
-		if len(s.queue) > detail {
+		if len(queued) > detail {
 			var tailCS float64
-			for _, q := range s.queue[detail:] {
+			for _, q := range queued[detail:] {
 				tailCS += float64(q.ReqWalltime) * float64(q.Cores)
 			}
 			tail = des.Time(tailCS / float64(s.M.BatchCores()))

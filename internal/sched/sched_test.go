@@ -228,8 +228,8 @@ func TestUrgentPreempts(t *testing.T) {
 	if victim.EndTime != 1110 {
 		t.Errorf("victim end = %v, want 1110", victim.EndTime)
 	}
-	if s.Preemptions() != 1 {
-		t.Errorf("scheduler preemption count = %d, want 1", s.Preemptions())
+	if got := s.Stats().Preemptions; got != 1 {
+		t.Errorf("scheduler preemption count = %d, want 1", got)
 	}
 }
 

@@ -170,8 +170,8 @@ func testEnv(t *testing.T, seed uint64) *Env {
 	small := &grid.Machine{ID: "small", Site: "s2", Nodes: 32, CoresPerNode: 8,
 		GFlopsPerCore: 2, NUPerCoreHour: 1}
 	scheds := map[string]*sched.Scheduler{
-		"big":   sched.New(k, big, sched.EASY),
-		"small": sched.New(k, small, sched.EASY),
+		"big":   sched.MustNamed(k, big, "easy"),
+		"small": sched.MustNamed(k, small, "easy"),
 	}
 	pop, err := users.Synthesize(users.Config{Projects: 10, UsersPerProjMu: 0.5,
 		UsersPerProjSd: 0.5, ActivityAlpha: 1.5}, simrand.Derive(seed, "pop"))
