@@ -22,6 +22,7 @@ import (
 	"sort"
 	"strings"
 	"syscall"
+	"time"
 
 	"github.com/tgsim/tgmod/internal/observatory"
 	"github.com/tgsim/tgmod/internal/stream"
@@ -37,6 +38,8 @@ func run(args []string) int {
 	httpAddr := fs.String("http", "127.0.0.1:9311", "console HTTP address")
 	streamBuf := fs.Int("stream-buf", 0, "per-run stream inbox capacity (0 = unbounded)")
 	finalOut := fs.String("final-out", "", "directory for per-run final artifacts (<id>.modality.txt, <id>.modalities.json)")
+	walDir := fs.String("wal", "", "directory for per-run write-ahead journals; on startup, runs found there are recovered")
+	grace := fs.Duration("grace", 10*time.Second, "drain window for in-flight connections on SIGINT/SIGTERM")
 	pprofFlag := fs.Bool("pprof", false, "mount the net/http/pprof endpoints on the console at /debug/pprof/")
 	merge := fs.Bool("merge", false, "offline mode: merge per-run modalities.json files named as args and print the fleet document")
 	quiet := fs.Bool("quiet", false, "suppress connection lifecycle logging")
@@ -59,9 +62,20 @@ func run(args []string) int {
 	d := observatory.NewDaemon(observatory.Config{
 		InboxCap: *streamBuf,
 		FinalDir: *finalOut,
+		WALDir:   *walDir,
 		Pprof:    *pprofFlag,
 		Log:      logger,
 	})
+	if *walDir != "" {
+		n, err := d.Recover()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tgobsd: recovery: %v\n", err)
+			return 2
+		}
+		if n > 0 {
+			fmt.Fprintf(os.Stderr, "tgobsd: recovered %d run(s) from %s\n", n, *walDir)
+		}
+	}
 	ingest, err := d.ListenIngest(*listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tgobsd: listen: %v\n", err)
@@ -76,12 +90,22 @@ func run(args []string) int {
 	// The ready line is a stable contract for scripts (CI greps for it).
 	fmt.Fprintf(os.Stderr, "tgobsd: ready ingest=%s http=%s\n", ingest, console)
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
-	fmt.Fprintf(os.Stderr, "tgobsd: %v, shutting down\n", s)
-	if err := d.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "tgobsd: shutdown: %v\n", err)
+	fmt.Fprintf(os.Stderr, "tgobsd: %v, draining (up to %s; signal again to force)\n", s, *grace)
+	done := make(chan error, 1)
+	go func() { done <- d.Shutdown(*grace) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tgobsd: shutdown: %v\n", err)
+			return 2
+		}
+	case s := <-sig:
+		// Abandon the drain: process exit severs everything, and the WAL
+		// (synced on its batch cadence) covers whatever is cut off.
+		fmt.Fprintf(os.Stderr, "tgobsd: %v again, forcing exit\n", s)
 		return 2
 	}
 	return 0

@@ -110,6 +110,8 @@ func run() error {
 	replaySpeed := flag.Float64("replay-speed", 0, "replay pacing in virtual seconds per wall second (0 = as fast as possible)")
 	push := flag.String("push", "", "stream telemetry to an observatory daemon (tgobsd) at host:port or unix:PATH; same-seed runs stay byte-identical with or without it")
 	pushID := flag.String("push-id", "", "run identity to request from the observatory daemon (fleet replications get -rNN suffixes; empty = daemon-assigned)")
+	pushRetry := flag.Int("push-retry", 12, "max consecutive attempts when (re)connecting to the observatory daemon before the push gives up (0 disables reconnection)")
+	pushSpill := flag.String("push-spill", "", "path for the push replay spill journal (fleet replications get -rNN suffixes; empty = private temp file)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (open with go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this file (open with go tool pprof)")
 	pprofFlag := flag.Bool("pprof", false, "with -http: mount the net/http/pprof endpoints on the run console at /debug/pprof/")
@@ -209,6 +211,7 @@ func run() error {
 			buildCfg: buildCfg, baseCfg: cfg,
 			quiet: *quiet, exportDir: *exportDir, csvDir: *csvDir,
 			push: *push, pushID: *pushID,
+			pushRetry: *pushRetry, pushSpill: *pushSpill,
 			progress: *progress, strictObs: *strictObs,
 		})
 	}
@@ -292,6 +295,9 @@ func run() error {
 			s.Runtime = &snap
 		}))
 	}
+	// Declared ahead of the snapshot closure so the console can serve the
+	// push transport counters; assigned when -push dials below.
+	var pusher *observatory.Pusher
 	if reg != nil {
 		showProgress := *progress
 		cfg.Observe.Snapshots = func(s *telemetry.Snapshot) {
@@ -304,6 +310,13 @@ func run() error {
 					console.PublishPage("/metrics/runtime",
 						"application/openmetrics-text; version=1.0.0; charset=utf-8",
 						sampler.OpenMetrics())
+				}
+				if pusher != nil {
+					// Wall-clock transport counters: like /metrics/runtime,
+					// a console-only page the deterministic exports never see.
+					console.PublishPage("/metrics/push",
+						"application/openmetrics-text; version=1.0.0; charset=utf-8",
+						append(pusher.AppendOpenMetrics(nil), "# EOF\n"...))
 				}
 				if proc != nil {
 					console.PublishJSON("/modalities", proc.ModalitiesJSON())
@@ -340,16 +353,15 @@ func run() error {
 	// sink (zero-perturbation seams only, so the run's bytes are identical
 	// with or without it) and stream to the daemon as the run progresses.
 	endTime := float64(cfg.Horizon + cfg.DrainTime)
-	var pusher *observatory.Pusher
 	if *push != "" {
 		largest, err := largestBatchCores(cfg)
 		if err != nil {
 			return err
 		}
-		pusher, err = observatory.Dial(*push, observatory.Hello{
+		pusher, err = observatory.DialPush(*push, observatory.Hello{
 			Run: *pushID, Seed: cfg.Seed, LargestCores: largest,
 			EndTimeS: endTime, Source: "tgsim",
-		})
+		}, pushOptions(*pushRetry, *pushSpill))
 		if err != nil {
 			return err
 		}
@@ -428,6 +440,12 @@ func run() error {
 		if *strictObs && proc != nil && proc.Dropped() > 0 {
 			return withCode(exitObsLoss,
 				fmt.Errorf("-strict-obs: stream inbox dropped %d records (raise -stream-buf or use 0 for unbounded)", proc.Dropped()))
+		}
+		if pusher != nil {
+			if st := pusher.Stats(); st.Reconnects > 0 {
+				fmt.Fprintf(os.Stderr, "tgsim: observatory push survived %d disconnect(s): %d frame(s) replayed, %d lost\n",
+					st.Reconnects, st.Replayed, st.PacketsLost)
+			}
 		}
 		if pusher != nil && (pushFinishErr != nil || pusher.Lossy()) {
 			st := pusher.Stats()
@@ -676,8 +694,24 @@ type fleetOpts struct {
 	csvDir    string
 	push      string
 	pushID    string
+	pushRetry int
+	pushSpill string
 	progress  bool
 	strictObs bool
+}
+
+// pushOptions maps the -push-retry/-push-spill flags onto the pusher's
+// fault-tolerance options. retry <= 0 disables reconnection outright
+// (the pre-resilience single-shot behavior).
+func pushOptions(retry int, spill string) observatory.PushOptions {
+	o := observatory.DefaultPushOptions()
+	if retry <= 0 {
+		o.Retry.MaxAttempts = -1
+	} else {
+		o.Retry.MaxAttempts = retry
+	}
+	o.SpillPath = spill
+	return o
 }
 
 // runFleetMode executes -reps replications in parallel and prints the
@@ -731,11 +765,15 @@ func runFleetMode(o fleetOpts) error {
 				}))
 			}
 			if o.push != "" {
-				p, err := observatory.Dial(o.push, observatory.Hello{
+				spill := ""
+				if o.pushSpill != "" {
+					spill = fmt.Sprintf("%s-r%02d", o.pushSpill, rep)
+				}
+				p, err := observatory.DialPush(o.push, observatory.Hello{
 					Run:  fmt.Sprintf("%s-r%02d", pushBase, rep),
 					Seed: seed, LargestCores: largest,
 					EndTimeS: endTime, Source: "fleet",
-				})
+				}, pushOptions(o.pushRetry, spill))
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "tgsim: fleet rep %d: push: %v\n", rep, err)
 				} else {
@@ -754,12 +792,20 @@ func runFleetMode(o fleetOpts) error {
 	}
 	// All replications are done; close every push and collect losses.
 	var pushLoss error
+	var reconnects, replayed uint64
 	for _, p := range pushers {
 		if ferr := p.Finish(endTime); ferr != nil && pushLoss == nil {
 			pushLoss = ferr
 		} else if p.Lossy() && pushLoss == nil {
 			pushLoss = fmt.Errorf("run %s lost %d packet frames", p.RunID(), p.Stats().PacketsLost)
 		}
+		st := p.Stats()
+		reconnects += st.Reconnects
+		replayed += st.Replayed
+	}
+	if reconnects > 0 {
+		fmt.Fprintf(os.Stderr, "tgsim: observatory push survived %d disconnect(s) across the fleet: %d frame(s) replayed\n",
+			reconnects, replayed)
 	}
 	if o.push != "" && len(pushers) < o.reps && pushLoss == nil {
 		pushLoss = fmt.Errorf("%d of %d replications could not connect", o.reps-len(pushers), o.reps)

@@ -18,6 +18,7 @@ package faults
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/tgsim/tgmod/internal/des"
 	"github.com/tgsim/tgmod/internal/simrand"
@@ -93,6 +94,20 @@ func (p RetryPolicy) Delay(attempt int, rng *simrand.Stream) (des.Time, bool) {
 		d = 0
 	}
 	return des.Time(d), true
+}
+
+// WallDelay is Delay for real-world retry loops: it interprets the
+// policy's des.Time fields (virtual seconds) as wall-clock seconds and
+// returns a time.Duration. The observatory push client reuses the
+// injector's backoff semantics — exponential growth, cap, deterministic
+// jitter from a named simrand stream — against the wall clock when
+// reconnecting to a daemon.
+func (p RetryPolicy) WallDelay(attempt int, rng *simrand.Stream) (time.Duration, bool) {
+	d, ok := p.Delay(attempt, rng)
+	if !ok {
+		return 0, false
+	}
+	return time.Duration(float64(d) * float64(time.Second)), true
 }
 
 // Config parameterizes the injector. All fault processes are renewal

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"reflect"
 	"testing"
+	"time"
 
 	"github.com/tgsim/tgmod/internal/accounting"
 	"github.com/tgsim/tgmod/internal/des"
@@ -45,6 +46,23 @@ func TestRetryPolicyJitterIsBounded(t *testing.T) {
 		if d < 80 || d > 120 {
 			t.Fatalf("attempt %d delay %v outside [80,120]", i, d)
 		}
+	}
+}
+
+func TestRetryPolicyWallDelay(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 3, Base: 0.05, MaxDelay: 2, Multiplier: 2}
+	want := []time.Duration{50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond}
+	for i, w := range want {
+		d, ok := p.WallDelay(i+1, nil)
+		if !ok {
+			t.Fatalf("attempt %d disallowed", i+1)
+		}
+		if d != w {
+			t.Errorf("attempt %d wall delay = %v, want %v", i+1, d, w)
+		}
+	}
+	if _, ok := p.WallDelay(4, nil); ok {
+		t.Error("attempt beyond MaxAttempts allowed")
 	}
 }
 

@@ -1,0 +1,189 @@
+package observatory
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/tgsim/tgmod/internal/simrand"
+)
+
+// ChaosConfig parameterizes a chaosProxy's fault schedule. Every decision
+// — where a connection is severed, how reads are re-segmented, when a
+// stall is inserted — is drawn from named simrand streams derived from
+// Seed and the connection ordinal, and all triggers are byte-count
+// driven, so the same seed over the same byte stream injects the same
+// faults regardless of wall-clock timing.
+type ChaosConfig struct {
+	// Seed roots the per-connection decision streams.
+	Seed uint64
+	// CutAfterMean, when positive, severs each connection after an
+	// exponentially distributed number of forwarded bytes (mean, per
+	// direction). Cuts land mid-frame as often as between frames, so the
+	// survivor sees torn frames, not clean EOFs.
+	CutAfterMean float64
+	// MaxCuts bounds the total number of injected disconnects across the
+	// proxy's lifetime (0 = unlimited). Once spent, connections pass
+	// through unharmed — the knob that guarantees a session eventually
+	// completes under a drop-heavy schedule.
+	MaxCuts int
+	// SegmentMean, when positive, re-segments forwarded data into
+	// exponentially sized partial writes (mean bytes, minimum 1) instead
+	// of forwarding each read whole.
+	SegmentMean float64
+	// StallProb inserts a Stall-long pause before a forwarded segment
+	// with this probability.
+	StallProb float64
+	// Stall is the pause duration for injected stalls.
+	Stall time.Duration
+}
+
+// chaosProxy is an in-process TCP proxy that forwards pusher traffic to
+// an upstream daemon while injecting a deterministic schedule of
+// disconnects, stalls, partial writes, and torn frames. Producers dial
+// Addr() instead of the daemon; reconnects arrive as fresh connections
+// and draw fresh budgets.
+type chaosProxy struct {
+	upstream string
+	cfg      ChaosConfig
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	connSeq atomic.Uint64
+	cuts    atomic.Uint64
+}
+
+// newChaosProxy starts a proxy in front of upstream (any address
+// splitPushAddr accepts) listening on an ephemeral TCP port.
+func newChaosProxy(upstream string, cfg ChaosConfig) (*chaosProxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &chaosProxy{upstream: upstream, cfg: cfg, ln: ln, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the address producers should dial.
+func (p *chaosProxy) Addr() string { return p.ln.Addr().String() }
+
+// Cuts reports how many connection cuts were injected.
+func (p *chaosProxy) Cuts() uint64 { return p.cuts.Load() }
+
+// Close stops the proxy and severs anything still flowing through it.
+func (p *chaosProxy) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	p.ln.Close()
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *chaosProxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		idx := p.connSeq.Add(1)
+		network, target := splitPushAddr(p.upstream)
+		up, err := net.DialTimeout(network, target, DialTimeout)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		p.track(conn, true)
+		p.track(up, true)
+		p.wg.Add(2)
+		go p.pump(up, conn, idx, "c2s")
+		go p.pump(conn, up, idx, "s2c")
+	}
+}
+
+func (p *chaosProxy) track(c net.Conn, add bool) {
+	p.mu.Lock()
+	if add {
+		p.conns[c] = struct{}{}
+	} else {
+		delete(p.conns, c)
+	}
+	p.mu.Unlock()
+}
+
+// pump forwards one direction of one connection, applying the chaos
+// schedule. Closing both ends on a cut (or on natural EOF) collapses the
+// whole proxied session, exactly like a mid-stream network failure.
+func (p *chaosProxy) pump(dst, src net.Conn, idx uint64, dir string) {
+	defer p.wg.Done()
+	defer func() {
+		dst.Close()
+		src.Close()
+		p.track(dst, false)
+		p.track(src, false)
+	}()
+	rng := simrand.Derive(p.cfg.Seed, fmt.Sprintf("chaos/conn%d/%s", idx, dir))
+	budget := -1 // bytes left before the cut; -1 = never
+	if p.cfg.CutAfterMean > 0 {
+		budget = int(rng.Exp(1/p.cfg.CutAfterMean)) + 1
+	}
+	buf := make([]byte, 4096)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			data := buf[:n]
+			for len(data) > 0 {
+				seg := len(data)
+				if p.cfg.SegmentMean > 0 {
+					if s := int(rng.Exp(1 / p.cfg.SegmentMean)); s < seg {
+						seg = max(s, 1)
+					}
+				}
+				cut := false
+				if budget >= 0 && seg >= budget {
+					// The cut lands inside this segment: forward the
+					// prefix (tearing whatever frame is in flight), then
+					// sever — unless the proxy-wide cut allowance is
+					// already spent.
+					if p.cfg.MaxCuts <= 0 || p.cuts.Load() < uint64(p.cfg.MaxCuts) {
+						seg = max(budget, 1)
+						cut = true
+					} else {
+						budget = -1
+					}
+				}
+				if p.cfg.StallProb > 0 && p.cfg.Stall > 0 && rng.Bool(p.cfg.StallProb) {
+					time.Sleep(p.cfg.Stall)
+				}
+				if _, err := dst.Write(data[:seg]); err != nil {
+					return
+				}
+				if cut {
+					p.cuts.Add(1)
+					return
+				}
+				if budget > 0 {
+					budget -= seg
+				}
+				data = data[seg:]
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}

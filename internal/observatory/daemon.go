@@ -32,6 +32,10 @@ type Config struct {
 	// finalizes: <id>.modality.txt (the byte-exact usage-by-modality
 	// table) and <id>.modalities.json (the final /modalities payload).
 	FinalDir string
+	// WALDir, when set, enables per-run write-ahead journaling: every
+	// record frame is appended to <id>.wal before it is applied, and
+	// Recover rebuilds run state from the directory after a crash.
+	WALDir string
 	// Pprof mounts the net/http/pprof endpoints on the console at
 	// /debug/pprof/. Off by default: they expose process internals.
 	Pprof bool
@@ -62,6 +66,13 @@ type Daemon struct {
 	lnWG      sync.WaitGroup
 	closed    atomic.Bool
 
+	// Live connections (d.mu) and their handler goroutines, so Shutdown
+	// can drain and Kill can sever. killed tells exiting handlers to skip
+	// the WAL sync a real kill -9 would never perform.
+	conns  map[net.Conn]struct{}
+	connWG sync.WaitGroup
+	killed atomic.Bool
+
 	httpSrv *http.Server // console server lifecycle; see http.go
 
 	// Meta-observability counters (tg_obsd_*).
@@ -74,6 +85,8 @@ type Daemon struct {
 	frameSnaps   atomic.Uint64
 	frameMetrics atomic.Uint64
 	frameFinals  atomic.Uint64
+	recoveries   atomic.Uint64
+	dupFrames    atomic.Uint64
 
 	// runtime samples the daemon's own Go runtime state (tg_runtime_*),
 	// spliced into the meta-metrics exposition at scrape time. The sampler
@@ -91,10 +104,24 @@ type runState struct {
 	Source   string
 	EndTimeS float64
 
-	// Owned by the connection goroutine.
+	// Owned by the connection goroutine (ownMu holds the ownership: a
+	// handler locks it for its whole tenure, so a resume takeover waits
+	// for the evicted handler to finish its in-flight frame).
+	ownMu   sync.Mutex
 	proc    *stream.Processor
 	central *accounting.Central
 	reg     *telemetry.Registry
+	wal     *runWAL // nil when journaling is off or the disk failed
+
+	// curConn lets a resume takeover force-close a half-open previous
+	// connection so its handler releases ownership.
+	curConn atomic.Pointer[net.Conn]
+
+	// haveSeq is the record-frame high-water mark: the highest sequence
+	// number applied (and, when journaling, logged). It is the resume
+	// offset reported in the hello ack.
+	haveSeq atomic.Uint64
+	dups    atomic.Uint64 // replayed frames deduplicated away
 
 	// Published (immutable payloads; HTTP loads the pointers).
 	lastSnap   atomic.Pointer[telemetry.Snapshot]
@@ -124,6 +151,7 @@ func NewDaemon(cfg Config) *Daemon {
 	return &Daemon{
 		cfg:     cfg,
 		runs:    make(map[string]*runState),
+		conns:   make(map[net.Conn]struct{}),
 		runtime: perf.NewRuntimeSampler(),
 	}
 }
@@ -163,7 +191,11 @@ func (d *Daemon) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return // listener closed
 		}
-		go d.handleConn(conn)
+		d.connWG.Add(1)
+		go func() {
+			defer d.connWG.Done()
+			d.handleConn(conn)
+		}()
 	}
 }
 
@@ -196,9 +228,199 @@ func (d *Daemon) Close() error {
 	return nil
 }
 
-// register resolves a hello into a run state: a fresh run, a reconnect to
-// a disconnected run of the same ID, or a uniquified ID when the
-// requested one is still live.
+// Shutdown stops the daemon gracefully: listeners close first (no new
+// producers), every in-flight connection gets until the grace deadline to
+// drain (its reads are deadline-capped, so a silent peer cannot stall the
+// exit), handler exits sync and close the per-run WALs, and the console
+// goes down last. Finalized runs already wrote their -final-out
+// artifacts at finalize time; a graceful exit therefore loses nothing
+// that was ever acked.
+func (d *Daemon) Shutdown(grace time.Duration) error {
+	if d.closed.Swap(true) {
+		return nil
+	}
+	d.mu.Lock()
+	lns := d.listeners
+	d.listeners = nil
+	d.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+		if ua, ok := ln.Addr().(*net.UnixAddr); ok {
+			os.Remove(ua.Name)
+		}
+	}
+	d.lnWG.Wait()
+	deadline := time.Now().Add(grace)
+	d.mu.Lock()
+	for c := range d.conns {
+		c.SetReadDeadline(deadline)
+	}
+	srv := d.httpSrv
+	d.httpSrv = nil
+	d.mu.Unlock()
+	d.connWG.Wait()
+	// No handlers left: WAL ownership is free.
+	for _, rs := range d.runList() {
+		if rs.wal != nil {
+			rs.wal.close(true)
+			rs.wal = nil
+		}
+	}
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return srv.Close()
+		}
+	}
+	return nil
+}
+
+// Kill simulates a hard crash for tests: listeners and live connections
+// are severed instantly and buffered WAL bytes are deliberately not
+// flushed — what kill -9 leaves on disk. The daemon object is dead
+// afterwards; recovery happens in a fresh daemon over the same WAL
+// directory.
+func (d *Daemon) Kill() {
+	d.killed.Store(true)
+	if d.closed.Swap(true) {
+		return
+	}
+	d.mu.Lock()
+	lns := d.listeners
+	d.listeners = nil
+	conns := make([]net.Conn, 0, len(d.conns))
+	for c := range d.conns {
+		conns = append(conns, c)
+	}
+	srv := d.httpSrv
+	d.httpSrv = nil
+	d.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+		if ua, ok := ln.Addr().(*net.UnixAddr); ok {
+			os.Remove(ua.Name)
+		}
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	d.lnWG.Wait()
+	d.connWG.Wait()
+	for _, rs := range d.runList() {
+		if rs.wal != nil {
+			rs.wal.close(false) // close without flushing: the crash loses the tail
+			rs.wal = nil
+		}
+	}
+	if srv != nil {
+		srv.Close()
+	}
+}
+
+// Recover rebuilds run state from the WAL directory after a crash: each
+// journal's torn tail (a frame cut mid-write by the crash) is truncated
+// away, the surviving record frames are replayed through the same apply
+// path live ingest uses, and runs whose journal holds a final frame are
+// re-finalized — including their -final-out artifacts. Call before
+// ListenIngest; returns the number of recovered runs.
+func (d *Daemon) Recover() (int, error) {
+	if d.cfg.WALDir == "" {
+		return 0, nil
+	}
+	paths, err := listWALs(d.cfg.WALDir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, path := range paths {
+		meta, recs, goodLen, err := readWAL(path)
+		if err != nil {
+			d.logf("tgobsd: recovery: skipping %s: %v", path, err)
+			continue
+		}
+		if st, err := os.Stat(path); err == nil && st.Size() > goodLen {
+			if err := os.Truncate(path, goodLen); err != nil {
+				d.logf("tgobsd: recovery: truncate %s: %v", path, err)
+			}
+		}
+		rs := d.newRunState(meta.ID, meta.Seed, meta.LargestCores, meta.EndTimeS, meta.Source)
+		for _, rec := range recs {
+			if err := d.applyRecovered(rs, rec); err != nil {
+				d.logf("tgobsd: recovery: run %s: stopping replay at seq %d: %v",
+					rs.ID, rs.haveSeq.Load(), err)
+				break
+			}
+		}
+		rs.frames.Add(uint64(len(recs)))
+		rs.publish(true)
+		d.mu.Lock()
+		if _, taken := d.runs[rs.ID]; taken {
+			d.mu.Unlock()
+			d.logf("tgobsd: recovery: run %s already registered, skipping %s", rs.ID, path)
+			continue
+		}
+		d.runs[rs.ID] = rs
+		d.mu.Unlock()
+		d.recoveries.Add(1)
+		n++
+		d.logf("tgobsd: recovered run %s from WAL (seq %d, %d packets, finalized %v)",
+			rs.ID, rs.haveSeq.Load(), rs.packets.Load(), rs.finalized.Load())
+	}
+	return n, nil
+}
+
+// applyRecovered replays one WAL record through the live apply path.
+func (d *Daemon) applyRecovered(rs *runState, rec walRecord) error {
+	seq, body, err := splitSeq(rec.payload)
+	if err != nil {
+		return err
+	}
+	if seq <= rs.haveSeq.Load() {
+		return nil // duplicate landed in the journal; harmless
+	}
+	switch rec.typ {
+	case framePacket:
+		return rs.applyPacket(seq, body)
+	case frameFinal:
+		end, err := decodeFinalFrame(body)
+		if err != nil {
+			return err
+		}
+		rs.haveSeq.Store(seq)
+		return d.finalizeRun(rs, end)
+	default:
+		return fmt.Errorf("%w: unexpected WAL frame %q", ErrBadFrame, rec.typ)
+	}
+}
+
+// Recoveries reports how many runs were rebuilt from WALs at startup.
+func (d *Daemon) Recoveries() uint64 { return d.recoveries.Load() }
+
+// newRunState builds a fresh run slice (processor, registry, accounting
+// database) for the given identity.
+func (d *Daemon) newRunState(id string, seed uint64, largest int, endTimeS float64, source string) *runState {
+	rs := &runState{
+		ID: id, Seed: seed, Largest: largest,
+		Source: source, EndTimeS: endTimeS,
+		central: accounting.NewCentral(),
+		reg:     telemetry.New(),
+	}
+	rs.proc = stream.New(stream.Config{
+		LargestCores: largest,
+		InboxCap:     d.cfg.InboxCap,
+		Registry:     rs.reg,
+	})
+	return rs
+}
+
+// register resolves a hello into a run state. A resume hello (seed must
+// match) gets its run back — taking over from a half-open previous
+// connection, or recreating the run at offset zero when this daemon has
+// never seen it (restart without a WAL; the producer's journal replays
+// everything). A non-resume hello whose requested ID collides gets a
+// uniquified ID; a resume with the wrong seed gets nil (the handler
+// rejects it — replaying one run into another would corrupt both).
 func (d *Daemon) register(h *Hello) (*runState, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -208,12 +430,15 @@ func (d *Daemon) register(h *Hello) (*runState, bool) {
 		id = fmt.Sprintf("run-%d", d.seq)
 	}
 	if rs, ok := d.runs[id]; ok {
-		if !rs.connected.Load() && !rs.finalized.Load() && rs.Seed == h.Seed {
-			// Same run coming back after a broken connection: resume its
-			// processor and database where they left off.
-			rs.connected.Store(true)
+		if h.Resume {
+			if rs.Seed != h.Seed {
+				return nil, false
+			}
 			rs.reconnects.Add(1)
 			d.reconnects.Add(1)
+			if c := rs.curConn.Load(); c != nil {
+				(*c).Close()
+			}
 			return rs, true
 		}
 		base := id
@@ -224,25 +449,30 @@ func (d *Daemon) register(h *Hello) (*runState, bool) {
 			}
 		}
 	}
-	rs := &runState{
-		ID: id, Seed: h.Seed, Largest: h.LargestCores,
-		Source: h.Source, EndTimeS: h.EndTimeS,
-		central: accounting.NewCentral(),
-		reg:     telemetry.New(),
-	}
-	rs.proc = stream.New(stream.Config{
-		LargestCores: h.LargestCores,
-		InboxCap:     d.cfg.InboxCap,
-		Registry:     rs.reg,
-	})
-	rs.connected.Store(true)
+	rs := d.newRunState(id, h.Seed, h.LargestCores, h.EndTimeS, h.Source)
 	d.runs[id] = rs
 	return rs, false
+}
+
+// reject answers a hopeless handshake with a typed error frame; Dial
+// surfaces the reason wrapped in ErrBadHello.
+func (d *Daemon) reject(conn net.Conn, msg string) {
+	d.decodeErrors.Add(1)
+	writeFrame(conn, frameError, []byte(msg))
+	d.logf("tgobsd: %s: rejected: %s", conn.RemoteAddr(), msg)
 }
 
 // handleConn services one push connection end to end.
 func (d *Daemon) handleConn(conn net.Conn) {
 	defer conn.Close()
+	d.mu.Lock()
+	d.conns[conn] = struct{}{}
+	d.mu.Unlock()
+	defer func() {
+		d.mu.Lock()
+		delete(d.conns, conn)
+		d.mu.Unlock()
+	}()
 	d.connections.Add(1)
 	br := newCountingReader(conn, &d.bytesIn)
 
@@ -251,31 +481,67 @@ func (d *Daemon) handleConn(conn net.Conn) {
 		d.logf("tgobsd: %s: %v", conn.RemoteAddr(), err)
 		return
 	}
-	typ, payload, err := readFrame(br)
-	if err != nil || typ != frameHello {
-		d.decodeErrors.Add(1)
-		d.logf("tgobsd: %s: want hello, got %v", conn.RemoteAddr(), err)
+	// The hello is read under a much tighter payload cap than the general
+	// wire limit: no 64 MiB allocation for a peer that has not even
+	// identified itself yet.
+	typ, payload, err := readFrameLimited(br, maxHelloPayload)
+	if err != nil {
+		d.reject(conn, fmt.Sprintf("bad hello frame: %v", err))
+		return
+	}
+	if typ != frameHello {
+		d.reject(conn, fmt.Sprintf("want hello, got frame %q", typ))
 		return
 	}
 	var h Hello
 	if err := unmarshalStrictless(payload, &h); err != nil {
-		d.decodeErrors.Add(1)
-		d.logf("tgobsd: %s: %v", conn.RemoteAddr(), err)
+		d.reject(conn, fmt.Sprintf("bad hello: %v", err))
+		return
+	}
+	if err := validateRunID(h.Run); err != nil {
+		d.reject(conn, err.Error())
 		return
 	}
 	rs, resumed := d.register(&h)
+	if rs == nil {
+		d.reject(conn, fmt.Sprintf("resume refused: seed mismatch for run %q", h.Run))
+		return
+	}
+	// Take ownership of the run. On a resume takeover, register already
+	// closed the previous connection; this blocks until its handler
+	// finishes the in-flight frame and releases.
+	rs.ownMu.Lock()
+	rs.curConn.Store(&conn)
+	rs.connected.Store(true)
+	if d.cfg.WALDir != "" && rs.wal == nil && !rs.finalized.Load() {
+		wal, err := openRunWAL(d.cfg.WALDir, walMeta{
+			ID: rs.ID, Seed: rs.Seed, LargestCores: rs.Largest,
+			EndTimeS: rs.EndTimeS, Source: rs.Source,
+		})
+		if err != nil {
+			d.logf("tgobsd: run %s: WAL open failed, journaling off: %v", rs.ID, err)
+		} else {
+			rs.wal = wal
+		}
+	}
 	defer func() {
+		if rs.wal != nil && !d.killed.Load() {
+			rs.wal.sync()
+		}
 		rs.connected.Store(false)
+		rs.curConn.Store(nil)
+		rs.ownMu.Unlock()
 		d.disconnects.Add(1)
 		d.logf("tgobsd: run %s disconnected (%d frames, %d bytes)",
 			rs.ID, rs.frames.Load(), rs.bytes.Load())
 	}()
-	if err := writeFrame(conn, frameHelloAck, marshalJSON(&helloAck{Run: rs.ID})); err != nil {
+	ack := helloAck{Run: rs.ID, HaveSeq: rs.haveSeq.Load(), Finalized: rs.finalized.Load()}
+	if err := writeFrame(conn, frameHelloAck, marshalJSON(&ack)); err != nil {
 		return
 	}
 	verb := "connected"
 	if resumed {
-		verb = "reconnected"
+		verb = fmt.Sprintf("resumed at seq %d", ack.HaveSeq)
 	}
 	d.logf("tgobsd: run %s %s from %s (seed %d, source %q)",
 		rs.ID, verb, conn.RemoteAddr(), rs.Seed, rs.Source)
@@ -304,22 +570,36 @@ func (d *Daemon) handleConn(conn net.Conn) {
 
 // applyFrame applies one decoded frame to the run. It runs on the run's
 // connection goroutine, the sole owner of the run's mutable state.
+//
+// Record frames (packet, final) carry sequence numbers: anything at or
+// below the high-water mark is a replayed duplicate and is dropped (a
+// duplicate final gets its ack re-sent — the original ack may have died
+// with the connection), a gap is a protocol violation, and the next
+// frame in order is journaled to the WAL *before* it is applied.
 func (d *Daemon) applyFrame(rs *runState, conn net.Conn, typ byte, payload []byte) error {
 	switch typ {
 	case framePacket:
 		d.framePackets.Add(1)
-		rs.packets.Add(1)
-		at, pkt, err := decodePacketFrame(payload)
+		seq, body, err := splitSeq(payload)
 		if err != nil {
 			return err
 		}
-		// Ingest in arrival order — exactly the producer's flush order —
-		// so the final classification walks the same records in the same
-		// sequence the producer's own database holds.
-		if err := rs.central.Ingest(pkt); err != nil {
+		have := rs.haveSeq.Load()
+		if seq <= have {
+			rs.dups.Add(1)
+			d.dupFrames.Add(1)
+			return nil
+		}
+		if seq != have+1 {
+			return fmt.Errorf("%w: run %s: sequence gap (got %d, want %d)", ErrBadFrame, rs.ID, seq, have+1)
+		}
+		if rs.finalized.Load() {
+			return fmt.Errorf("%w: run %s: packet seq %d after final", ErrBadFrame, rs.ID, seq)
+		}
+		d.walAppend(rs, framePacket, payload)
+		if err := rs.applyPacket(seq, body); err != nil {
 			return err
 		}
-		rs.proc.OfferPacket(des.Time(at), pkt)
 		rs.publish(false)
 	case frameSnapshot:
 		d.frameSnaps.Add(1)
@@ -334,10 +614,30 @@ func (d *Daemon) applyFrame(rs *runState, conn net.Conn, typ byte, payload []byt
 		rs.metricsOM.Store(&om)
 	case frameFinal:
 		d.frameFinals.Add(1)
-		end, err := decodeFinalFrame(payload)
+		seq, body, err := splitSeq(payload)
 		if err != nil {
 			return err
 		}
+		have := rs.haveSeq.Load()
+		if seq <= have {
+			rs.dups.Add(1)
+			d.dupFrames.Add(1)
+			return writeFrame(conn, frameFinalAck, nil)
+		}
+		if seq != have+1 {
+			return fmt.Errorf("%w: run %s: sequence gap (got %d, want %d)", ErrBadFrame, rs.ID, seq, have+1)
+		}
+		end, err := decodeFinalFrame(body)
+		if err != nil {
+			return err
+		}
+		d.walAppend(rs, frameFinal, payload)
+		if rs.wal != nil {
+			// The final must be durable before the ack releases the
+			// producer from its delivery obligation.
+			rs.wal.sync()
+		}
+		rs.haveSeq.Store(seq)
 		if err := d.finalizeRun(rs, end); err != nil {
 			return err
 		}
@@ -345,6 +645,39 @@ func (d *Daemon) applyFrame(rs *runState, conn net.Conn, typ byte, payload []byt
 	default:
 		return fmt.Errorf("%w: unknown frame type %q", ErrBadFrame, typ)
 	}
+	return nil
+}
+
+// walAppend journals one record frame ahead of processing. A disk
+// failure degrades the run to non-journaled (logged once) rather than
+// killing the connection: availability over durability, and the
+// producer's journal still covers the replay.
+func (d *Daemon) walAppend(rs *runState, typ byte, payload []byte) {
+	if rs.wal == nil {
+		return
+	}
+	if err := rs.wal.append(typ, payload); err != nil {
+		d.logf("tgobsd: run %s: WAL append failed, journaling off: %v", rs.ID, err)
+		rs.wal.close(false)
+		rs.wal = nil
+	}
+}
+
+// applyPacket ingests one in-order sequenced packet body. Ingest is in
+// arrival order — exactly the producer's flush order — so the final
+// classification walks the same records in the same sequence the
+// producer's own database holds.
+func (rs *runState) applyPacket(seq uint64, body []byte) error {
+	at, pkt, err := decodePacketFrame(body)
+	if err != nil {
+		return err
+	}
+	if err := rs.central.Ingest(pkt); err != nil {
+		return err
+	}
+	rs.proc.OfferPacket(des.Time(at), pkt)
+	rs.haveSeq.Store(seq)
+	rs.packets.Add(1)
 	return nil
 }
 
@@ -463,7 +796,8 @@ func (d *Daemon) RunCentralExport(id string, w io.Writer) error {
 		return fmt.Errorf("observatory: run %q not finalized", id)
 	}
 	// Safe: after finalize the owning goroutine no longer mutates the
-	// database (any reconnect with the same ID is uniquified away).
+	// database (applyFrame rejects record frames past the final, and a
+	// resumed connection to a finalized run only ever re-acks).
 	return rs.central.Export(w)
 }
 

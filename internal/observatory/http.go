@@ -242,6 +242,12 @@ func (d *Daemon) writeMetaMetrics(w http.ResponseWriter) {
 	fmt.Fprintf(w, "# TYPE tg_obsd_reconnects counter\n")
 	fmt.Fprintf(w, "# HELP tg_obsd_reconnects Runs that resumed after a broken connection.\n")
 	fmt.Fprintf(w, "tg_obsd_reconnects_total %d\n", d.reconnects.Load())
+	fmt.Fprintf(w, "# TYPE tg_obsd_recoveries counter\n")
+	fmt.Fprintf(w, "# HELP tg_obsd_recoveries Runs rebuilt from write-ahead journals at startup.\n")
+	fmt.Fprintf(w, "tg_obsd_recoveries_total %d\n", d.recoveries.Load())
+	fmt.Fprintf(w, "# TYPE tg_obsd_dup_frames counter\n")
+	fmt.Fprintf(w, "# HELP tg_obsd_dup_frames Replayed record frames deduplicated by sequence number.\n")
+	fmt.Fprintf(w, "tg_obsd_dup_frames_total %d\n", d.dupFrames.Load())
 	fmt.Fprintf(w, "# TYPE tg_obsd_decode_errors counter\n")
 	fmt.Fprintf(w, "# HELP tg_obsd_decode_errors Frames or handshakes the daemon could not decode.\n")
 	fmt.Fprintf(w, "tg_obsd_decode_errors_total %d\n", d.decodeErrors.Load())

@@ -1,0 +1,331 @@
+package observatory
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file holds the two durability layers of the fault-tolerant push
+// path.
+//
+// Producer side: a bounded in-memory replay window backed by a disk
+// spill journal. Every record frame (packet, final) is retained until
+// the run finishes, because a reconnect may have to replay from any
+// point the daemon has not applied — the daemon's resume offset is only
+// learned at reconnect time. Recent frames replay from memory; anything
+// older than the window is re-read from the spill file.
+//
+// Daemon side: a per-run write-ahead log. Every record frame is appended
+// (fsync batched) *before* it is applied to the run's processor and
+// accounting database, so a daemon crash loses at most the unflushed
+// tail — and whatever the tail loses, the producer still holds and
+// replays, because the recovered resume offset tells it exactly where
+// the daemon's durable state ends.
+
+// journalFrame is one retained record frame: the wire type plus the
+// sealed payload (sequence number already prepended).
+type journalFrame struct {
+	typ    byte
+	seq    uint64
+	sealed []byte
+}
+
+// replayWindow keeps the most recent record frames in memory, bounded at
+// cap frames; older entries are evicted (the spill journal still has
+// them).
+type replayWindow struct {
+	frames []journalFrame
+	limit  int
+}
+
+func newReplayWindow(limit int) *replayWindow {
+	if limit < 1 {
+		limit = 1
+	}
+	return &replayWindow{limit: limit}
+}
+
+func (w *replayWindow) add(f journalFrame) {
+	if len(w.frames) >= w.limit {
+		// Shift rather than ring-index: the window is small and replay
+		// wants the frames in slice order anyway.
+		copy(w.frames, w.frames[1:])
+		w.frames = w.frames[:len(w.frames)-1]
+	}
+	w.frames = append(w.frames, f)
+}
+
+// covers reports whether every frame with sequence > haveSeq is still in
+// memory.
+func (w *replayWindow) covers(haveSeq uint64) bool {
+	if len(w.frames) == 0 {
+		return true
+	}
+	return w.frames[0].seq <= haveSeq+1
+}
+
+// from returns the retained frames with sequence > haveSeq, in order.
+func (w *replayWindow) from(haveSeq uint64) []journalFrame {
+	for i, f := range w.frames {
+		if f.seq > haveSeq {
+			return w.frames[i:]
+		}
+	}
+	return nil
+}
+
+// spillJournal is the producer's on-disk copy of every record frame of
+// the current push session. It is owned by the writer goroutine: appends
+// and replays never race. Durability is not the point (a producer crash
+// ends the run anyway) — the journal exists so the bounded window can
+// evict without losing the ability to replay arbitrarily far back.
+type spillJournal struct {
+	path    string
+	own     bool // created by us (temp file) → removed on close
+	f       *os.File
+	w       *bufio.Writer
+	nBytes  uint64
+	nFrames uint64
+}
+
+// newSpillJournal opens the spill journal at path, or a private temp
+// file when path is empty.
+func newSpillJournal(path string) (*spillJournal, error) {
+	var f *os.File
+	var err error
+	own := false
+	if path == "" {
+		f, err = os.CreateTemp("", "tgpush-*.spill")
+		own = true
+	} else {
+		f, err = os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("observatory: spill journal: %w", err)
+	}
+	return &spillJournal{path: f.Name(), own: own, f: f, w: bufio.NewWriter(f)}, nil
+}
+
+func (j *spillJournal) append(f journalFrame) error {
+	if err := writeFrame(j.w, f.typ, f.sealed); err != nil {
+		return err
+	}
+	j.nBytes += uint64(5 + len(f.sealed))
+	j.nFrames++
+	return nil
+}
+
+// replay streams every journaled frame with sequence > haveSeq to emit,
+// in append order.
+func (j *spillJournal) replay(haveSeq uint64, emit func(journalFrame) error) error {
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	r, err := os.Open(j.path)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	br := bufio.NewReader(r)
+	for {
+		typ, payload, err := readFrame(br)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		seq, _, err := splitSeq(payload)
+		if err != nil {
+			return err
+		}
+		if seq <= haveSeq {
+			continue
+		}
+		if err := emit(journalFrame{typ: typ, seq: seq, sealed: payload}); err != nil {
+			return err
+		}
+	}
+}
+
+// close flushes and removes the journal (the session is over; nothing
+// left to replay).
+func (j *spillJournal) close() {
+	if j == nil {
+		return
+	}
+	j.w.Flush()
+	j.f.Close()
+	if j.own || j.path != "" {
+		os.Remove(j.path)
+	}
+}
+
+// walMagic brands a daemon write-ahead log file.
+const walMagic = "TGOWAL1\n"
+
+// walSyncEvery batches fsyncs: the WAL file is synced after this many
+// appended frames (and always at finalize and handler exit). A crash
+// loses at most walSyncEvery frames of tail — which the producer's
+// journal replays on reconnect.
+const walSyncEvery = 256
+
+// walMeta is the run identity persisted in the WAL header frame, enough
+// to rebuild the runState on recovery.
+type walMeta struct {
+	ID           string  `json:"id"`
+	Seed         uint64  `json:"seed"`
+	LargestCores int     `json:"largest_cores"`
+	EndTimeS     float64 `json:"end_time_s"`
+	Source       string  `json:"source,omitempty"`
+}
+
+// runWAL is one run's write-ahead log: the magic, a hello frame holding
+// the run meta, then every record frame exactly as it arrived on the
+// wire (sequence numbers included). Owned by the run's connection
+// goroutine under the same single-writer discipline as the processor.
+type runWAL struct {
+	path     string
+	f        *os.File
+	w        *bufio.Writer
+	unsynced int
+}
+
+// walPath returns the WAL file for a run ID. IDs are pre-validated
+// ([A-Za-z0-9._-] plus daemon-introduced '#'), so the name is safe.
+func walPath(dir, id string) string {
+	return filepath.Join(dir, id+".wal")
+}
+
+// openRunWAL opens (appending) or creates the WAL for a run.
+func openRunWAL(dir string, meta walMeta) (*runWAL, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := walPath(dir, meta.ID)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	wal := &runWAL{path: path, f: f, w: bufio.NewWriter(f)}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() == 0 {
+		if _, err := wal.w.WriteString(walMagic); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := writeFrame(wal.w, frameHello, marshalJSON(&meta)); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := wal.sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return wal, nil
+}
+
+// append logs one record frame ahead of processing, syncing on the batch
+// cadence.
+func (w *runWAL) append(typ byte, payload []byte) error {
+	if err := writeFrame(w.w, typ, payload); err != nil {
+		return err
+	}
+	w.unsynced++
+	if w.unsynced >= walSyncEvery {
+		return w.sync()
+	}
+	return nil
+}
+
+// sync flushes the buffer and fsyncs the file.
+func (w *runWAL) sync() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	w.unsynced = 0
+	return w.f.Sync()
+}
+
+// close syncs (unless crashing is being simulated) and closes the file.
+func (w *runWAL) close(sync bool) {
+	if w == nil {
+		return
+	}
+	if sync {
+		w.sync()
+	}
+	w.f.Close()
+}
+
+// walRecord is one recovered frame.
+type walRecord struct {
+	typ     byte
+	payload []byte
+}
+
+// readWAL parses one WAL file, tolerating a torn tail: a crash can cut
+// the file mid-frame, so parsing stops at the first malformed frame and
+// reports how many bytes were good. Everything before the tear is valid
+// by construction (frames are appended whole before processing).
+func readWAL(path string) (meta walMeta, recs []walRecord, goodLen int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return meta, nil, 0, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	magic := make([]byte, len(walMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != walMagic {
+		return meta, nil, 0, fmt.Errorf("%w: not a WAL file: %s", ErrBadFrame, path)
+	}
+	typ, payload, err := readFrame(br)
+	if err != nil || typ != frameHello {
+		return meta, nil, 0, fmt.Errorf("%w: WAL %s missing meta header", ErrBadFrame, path)
+	}
+	if err := unmarshalStrictless(payload, &meta); err != nil {
+		return meta, nil, 0, err
+	}
+	goodLen = int64(len(walMagic) + 5 + len(payload))
+	for {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			// io.EOF is a clean end; anything else is the torn tail of a
+			// crash — recovery keeps what parsed and truncates the rest.
+			return meta, recs, goodLen, nil
+		}
+		recs = append(recs, walRecord{typ: typ, payload: payload})
+		goodLen += int64(5 + len(payload))
+	}
+}
+
+// listWALs returns the WAL files under dir, sorted by name so recovery
+// order (and therefore run registration order) is deterministic.
+func listWALs(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".wal") {
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

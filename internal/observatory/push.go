@@ -2,6 +2,7 @@ package observatory
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"net"
 	"strings"
@@ -11,7 +12,9 @@ import (
 
 	"github.com/tgsim/tgmod/internal/accounting"
 	"github.com/tgsim/tgmod/internal/des"
+	"github.com/tgsim/tgmod/internal/faults"
 	"github.com/tgsim/tgmod/internal/scenario"
+	"github.com/tgsim/tgmod/internal/simrand"
 	"github.com/tgsim/tgmod/internal/telemetry"
 )
 
@@ -29,17 +32,38 @@ import (
 // Snapshot and metrics frames are progress conflation: when the outbox is
 // full they are dropped and counted, never blocking the run.
 //
-// A wire error marks the pusher broken: subsequent packet frames are
-// counted as lost (PacketsLost) instead of blocking forever, and Finish
-// reports the error. tgsim -strict-obs turns a broken push into a
-// non-zero exit, because the daemon-side record is then incomplete.
+// Fault tolerance: the writer goroutine owns the connection end to end.
+// Record frames (packets, final) are sequence-numbered, retained in a
+// bounded in-memory replay window, and spilled to a disk journal before
+// they ever touch the wire. On a wire error the writer reconnects with
+// exponential backoff and deterministic jitter (faults.RetryPolicy
+// semantics on the wall clock), re-handshakes with Resume set, learns the
+// daemon's resume offset from the hello ack, and replays exactly the
+// frames the daemon never applied. Only after the retry budget is
+// exhausted does the pusher break: subsequent packet frames are counted
+// in PacketsLost instead of blocking forever, and Finish reports the
+// error. tgsim -strict-obs turns a broken push into a non-zero exit,
+// because the daemon-side record is then incomplete.
 type Pusher struct {
-	conn net.Conn
-	run  string // daemon-assigned run ID
+	addr  string
+	hello Hello // as negotiated (Run holds the daemon-assigned identity)
+	opts  PushOptions
+	rng   *simrand.Stream // backoff jitter; confined to the dial/writer path
+
+	conn net.Conn // owned by the writer goroutine once it starts
+	run  string   // daemon-assigned run ID
 
 	out    chan outFrame
 	wg     sync.WaitGroup
 	errVal atomic.Pointer[pushErr]
+
+	// Writer-owned delivery state.
+	journal *spillJournal
+	jbroken bool // spill append failed; window-only replay from here on
+	window  *replayWindow
+	nextSeq uint64
+
+	finalAcked atomic.Bool
 
 	packets      atomic.Uint64
 	packetsLost  atomic.Uint64
@@ -47,6 +71,9 @@ type Pusher struct {
 	snapsDropped atomic.Uint64
 	metrics      atomic.Uint64
 	bytes        atomic.Uint64
+	reconnects   atomic.Uint64
+	replayed     atomic.Uint64
+	spilled      atomic.Uint64
 	finished     bool
 }
 
@@ -61,16 +88,55 @@ type pushErr struct{ err error }
 // PushStats summarizes what a pusher shipped (and lost).
 type PushStats struct {
 	Packets      uint64 // packet frames delivered to the writer
-	PacketsLost  uint64 // packet frames discarded after a wire error
+	PacketsLost  uint64 // packet frames discarded after the retry budget gave up
 	Snapshots    uint64 // snapshot frames enqueued
 	SnapsDropped uint64 // snapshot/metrics frames conflated away (outbox full)
 	Metrics      uint64 // metrics frames enqueued
 	Bytes        uint64 // payload bytes written to the wire
+	Reconnects   uint64 // successful reconnect+resume handshakes
+	Replayed     uint64 // record frames re-sent from the window/journal
+	SpilledBytes uint64 // bytes appended to the disk spill journal
+}
+
+// PushOptions tunes the fault-tolerance layer of a push session.
+type PushOptions struct {
+	// Retry is the reconnect backoff policy, interpreted on the wall
+	// clock (des.Time fields are seconds). MaxAttempts bounds
+	// *consecutive* failed attempts — the budget resets on every
+	// successful handshake. A negative MaxAttempts disables
+	// reconnection entirely: the first wire error breaks the pusher
+	// (the pre-resilience behavior).
+	Retry faults.RetryPolicy
+	// SpillPath places the disk spill journal; empty uses a private
+	// temp file. The journal is removed when the session ends.
+	SpillPath string
+	// JitterSeed seeds the deterministic backoff jitter stream; zero
+	// falls back to the hello seed.
+	JitterSeed uint64
+}
+
+// DefaultPushOptions is the default reconnect profile: a dozen attempts
+// from 50 ms doubling to a 2 s cap (±20 % jitter) rides out roughly
+// fifteen seconds of daemon outage — a restart, not a decommission.
+func DefaultPushOptions() PushOptions {
+	return PushOptions{
+		Retry: faults.RetryPolicy{
+			MaxAttempts: 12,
+			Base:        0.05,
+			MaxDelay:    2,
+			Multiplier:  2,
+			Jitter:      0.2,
+		},
+	}
 }
 
 // pushOutbox is the outbox depth. Packet frames block (never drop) when
 // it fills, so it only bounds memory, not fidelity.
 const pushOutbox = 256
+
+// pushWindowFrames bounds the in-memory replay window; reconnects that
+// must reach further back replay from the spill journal.
+const pushWindowFrames = 1024
 
 // handshakeTimeout bounds the hello and final acks so a wedged daemon
 // cannot hang a producer forever.
@@ -91,57 +157,123 @@ func splitPushAddr(addr string) (network, target string) {
 	return "tcp", addr
 }
 
-// Dial connects to an observatory daemon, performs the hello handshake,
-// and returns a pusher ready to attach to a run. The returned pusher's
-// RunID is the daemon-assigned (possibly uniquified) identity.
+// Dial connects with the default fault-tolerance options.
 func Dial(addr string, h Hello) (*Pusher, error) {
-	network, target := splitPushAddr(addr)
-	conn, err := net.DialTimeout(network, target, DialTimeout)
-	if err != nil {
-		return nil, fmt.Errorf("observatory: dial %s: %w", addr, err)
-	}
-	h.Schema = helloSchema
-	deadline := time.Now().Add(handshakeTimeout)
-	conn.SetDeadline(deadline)
-	if _, err := conn.Write([]byte(wireMagicStr)); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("observatory: handshake: %w", err)
-	}
-	if err := writeFrame(conn, frameHello, marshalJSON(&h)); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("observatory: handshake: %w", err)
-	}
-	typ, payload, err := readFrame(conn)
-	if err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("observatory: hello ack: %w", err)
-	}
-	if typ != frameHelloAck {
-		conn.Close()
-		return nil, fmt.Errorf("%w: want hello ack, got frame %q", ErrBadFrame, typ)
-	}
-	var ack helloAck
-	if err := unmarshalStrictless(payload, &ack); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("observatory: hello ack: %w", err)
-	}
-	conn.SetDeadline(time.Time{})
+	return DialPush(addr, h, DefaultPushOptions())
+}
 
-	p := &Pusher{conn: conn, run: ack.Run, out: make(chan outFrame, pushOutbox)}
+// DialPush connects to an observatory daemon, performs the hello
+// handshake, and returns a pusher ready to attach to a run. The initial
+// dial uses the same retry budget as mid-run reconnects (a producer may
+// start while the daemon is restarting); hello rejections (ErrBadHello)
+// are permanent and never retried. The returned pusher's RunID is the
+// daemon-assigned (possibly uniquified) identity.
+func DialPush(addr string, h Hello, opts PushOptions) (*Pusher, error) {
+	h.Schema = helloSchema
+	h.Resume = false
+	p := &Pusher{
+		addr:   addr,
+		hello:  h,
+		opts:   opts,
+		out:    make(chan outFrame, pushOutbox),
+		window: newReplayWindow(pushWindowFrames),
+	}
+	seed := opts.JitterSeed
+	if seed == 0 {
+		seed = h.Seed
+	}
+	p.rng = simrand.Derive(seed, "observatory/push-retry")
+	for attempt := 1; ; attempt++ {
+		conn, ack, err := p.dialAndHello(false)
+		if err == nil {
+			p.conn, p.run = conn, ack.Run
+			p.hello.Run = ack.Run
+			break
+		}
+		if errors.Is(err, ErrBadHello) {
+			return nil, err
+		}
+		d, ok := p.retryDelay(attempt)
+		if !ok {
+			return nil, fmt.Errorf("observatory: dial %s: %w", addr, err)
+		}
+		time.Sleep(d)
+	}
+	journal, err := newSpillJournal(opts.SpillPath)
+	if err != nil {
+		p.conn.Close()
+		return nil, err
+	}
+	p.journal = journal
 	p.wg.Add(1)
 	go p.writer()
 	return p, nil
 }
 
+// dialAndHello performs one connect + handshake attempt.
+func (p *Pusher) dialAndHello(resume bool) (net.Conn, helloAck, error) {
+	network, target := splitPushAddr(p.addr)
+	conn, err := net.DialTimeout(network, target, DialTimeout)
+	if err != nil {
+		return nil, helloAck{}, err
+	}
+	h := p.hello
+	h.Resume = resume
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	if _, err := conn.Write([]byte(wireMagicStr)); err != nil {
+		conn.Close()
+		return nil, helloAck{}, fmt.Errorf("observatory: handshake: %w", err)
+	}
+	if err := writeFrame(conn, frameHello, marshalJSON(&h)); err != nil {
+		conn.Close()
+		return nil, helloAck{}, fmt.Errorf("observatory: handshake: %w", err)
+	}
+	typ, payload, err := readFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, helloAck{}, fmt.Errorf("observatory: hello ack: %w", err)
+	}
+	if typ == frameError {
+		conn.Close()
+		return nil, helloAck{}, fmt.Errorf("%w: daemon rejected hello: %s", ErrBadHello, payload)
+	}
+	if typ != frameHelloAck {
+		conn.Close()
+		return nil, helloAck{}, fmt.Errorf("%w: want hello ack, got frame %q", ErrBadFrame, typ)
+	}
+	var ack helloAck
+	if err := unmarshalStrictless(payload, &ack); err != nil {
+		conn.Close()
+		return nil, helloAck{}, fmt.Errorf("observatory: hello ack: %w", err)
+	}
+	conn.SetDeadline(time.Time{})
+	return conn, ack, nil
+}
+
+// retryDelay maps an attempt number to a wall-clock backoff, or reports
+// that the budget is spent.
+func (p *Pusher) retryDelay(attempt int) (time.Duration, bool) {
+	if p.opts.Retry.MaxAttempts < 0 {
+		return 0, false
+	}
+	return p.opts.Retry.WallDelay(attempt, p.rng)
+}
+
 // RunID returns the daemon-assigned run identity.
 func (p *Pusher) RunID() string { return p.run }
 
-// Err returns the first wire error, if any.
+// Err returns the permanent push error, if any (set only after the
+// reconnect budget gave up, or on an encode failure).
 func (p *Pusher) Err() error {
 	if e := p.errVal.Load(); e != nil {
 		return e.err
 	}
 	return nil
+}
+
+// fail records the permanent push error (first one wins).
+func (p *Pusher) fail(err error) {
+	p.errVal.CompareAndSwap(nil, &pushErr{err: err})
 }
 
 // Stats returns delivery counters.
@@ -153,34 +285,195 @@ func (p *Pusher) Stats() PushStats {
 		SnapsDropped: p.snapsDropped.Load(),
 		Metrics:      p.metrics.Load(),
 		Bytes:        p.bytes.Load(),
+		Reconnects:   p.reconnects.Load(),
+		Replayed:     p.replayed.Load(),
+		SpilledBytes: p.spilled.Load(),
 	}
 }
 
 // Lossy reports whether the daemon-side view of this run is incomplete:
-// the wire broke, or packet frames were discarded.
+// the push broke permanently, or packet frames were discarded.
 func (p *Pusher) Lossy() bool {
 	return p.Err() != nil || p.packetsLost.Load() > 0
 }
 
-// writer drains the outbox onto the wire. After the first error it keeps
-// draining (so blocking senders never deadlock) but discards frames.
+// AppendOpenMetrics renders the pusher's wall-clock delivery counters as
+// tg_push_* OpenMetrics families (no # EOF terminator — the caller owns
+// the page). These counters are wall-clock artifacts of the transport, so
+// they live outside the deterministic run registry: exports and tgdiff
+// never see them.
+func (p *Pusher) AppendOpenMetrics(b []byte) []byte {
+	st := p.Stats()
+	add := func(name, help string, v uint64) {
+		b = append(b, "# HELP "+name+" "+help+"\n"...)
+		b = append(b, "# TYPE "+name+" counter\n"...)
+		b = fmt.Appendf(b, "%s %d\n", name, v)
+	}
+	add("tg_push_packets_total", "Accounting packet frames handed to the push writer.", st.Packets)
+	add("tg_push_packets_lost_total", "Packet frames abandoned after the reconnect budget gave up.", st.PacketsLost)
+	add("tg_push_reconnects_total", "Successful reconnect+resume handshakes.", st.Reconnects)
+	add("tg_push_replayed_frames_total", "Record frames re-sent from the replay window or spill journal.", st.Replayed)
+	add("tg_push_spilled_bytes_total", "Bytes appended to the disk spill journal.", st.SpilledBytes)
+	add("tg_push_bytes_total", "Payload bytes written to the wire.", st.Bytes)
+	return b
+}
+
+// writer drains the outbox onto the wire. It is the sole owner of the
+// connection, the sequence counter, the replay window, and the spill
+// journal. Record frames are sealed with the next sequence number and
+// journaled *before* the first write attempt, so a failed write (or a
+// whole daemon restart) is recoverable by replay. After the pusher
+// breaks permanently it keeps draining (so blocking senders never
+// deadlock) but discards frames.
 func (p *Pusher) writer() {
 	defer p.wg.Done()
 	for f := range p.out {
-		if p.Err() != nil {
-			if f.typ == framePacket {
-				p.packetsLost.Add(1)
+		switch f.typ {
+		case framePacket, frameFinal:
+			p.nextSeq++
+			jf := journalFrame{typ: f.typ, seq: p.nextSeq, sealed: sealSeq(p.nextSeq, f.payload)}
+			if p.journal != nil && !p.jbroken {
+				if err := p.journal.append(jf); err != nil {
+					// Disk trouble degrades replay reach to the in-memory
+					// window; the push itself continues.
+					p.jbroken = true
+				} else {
+					p.spilled.Add(uint64(5 + 8 + len(f.payload)))
+				}
+			}
+			p.window.add(jf)
+			if p.Err() != nil {
+				if f.typ == framePacket {
+					p.packetsLost.Add(1)
+				}
+				continue
+			}
+			if err := writeFrame(p.conn, f.typ, jf.sealed); err != nil {
+				if !p.reconnect() {
+					p.fail(fmt.Errorf("observatory: write: %w", err))
+					if f.typ == framePacket {
+						p.packetsLost.Add(1)
+					}
+					continue
+				}
+				// The reconnect replayed every unapplied frame, jf
+				// included — this frame is delivered.
+			}
+			p.bytes.Add(uint64(len(jf.sealed)))
+			if f.typ == frameFinal {
+				p.awaitFinalAck()
+			}
+		default:
+			// Conflatable progress frames: never sequenced, never
+			// replayed — on trouble, drop the frame and let the
+			// reconnect restore the pipe for the record stream.
+			if p.Err() != nil {
+				continue
+			}
+			if err := writeFrame(p.conn, f.typ, f.payload); err != nil {
+				p.snapsDropped.Add(1)
+				if !p.reconnect() {
+					p.fail(fmt.Errorf("observatory: write: %w", err))
+				}
+				continue
+			}
+			p.bytes.Add(uint64(len(f.payload)))
+		}
+	}
+}
+
+// reconnect re-establishes the session after a wire error: close the dead
+// connection, back off per the retry policy (deterministic jitter), dial
+// and re-handshake with Resume set, then replay every record frame above
+// the daemon's resume offset. Returns false when the budget is exhausted
+// or resume is impossible (identity lost, seed mismatch).
+func (p *Pusher) reconnect() bool {
+	p.conn.Close()
+	for attempt := 1; ; attempt++ {
+		d, ok := p.retryDelay(attempt)
+		if !ok {
+			return false
+		}
+		time.Sleep(d)
+		conn, ack, err := p.dialAndHello(true)
+		if err != nil {
+			if errors.Is(err, ErrBadHello) {
+				return false // daemon rejected the resume; no point retrying
 			}
 			continue
 		}
-		if err := writeFrame(p.conn, f.typ, f.payload); err != nil {
-			p.errVal.CompareAndSwap(nil, &pushErr{err: err})
-			if f.typ == framePacket {
-				p.packetsLost.Add(1)
-			}
+		if ack.Run != p.run {
+			// The daemon handed out a different identity — our run is
+			// gone and replaying into a stranger would corrupt it.
+			conn.Close()
+			return false
+		}
+		p.conn = conn
+		p.reconnects.Add(1)
+		if ack.Finalized {
+			// The daemon already applied our final frame in a previous
+			// life; the pending final ack is answered by the handshake.
+			p.finalAcked.Store(true)
+			return true
+		}
+		if err := p.replayFrom(ack.HaveSeq); err != nil {
+			p.conn.Close()
 			continue
 		}
-		p.bytes.Add(uint64(len(f.payload)))
+		return true
+	}
+}
+
+// replayFrom re-sends every record frame with sequence > haveSeq, from
+// the in-memory window when it reaches back far enough, otherwise from
+// the spill journal.
+func (p *Pusher) replayFrom(haveSeq uint64) error {
+	emit := func(f journalFrame) error {
+		if err := writeFrame(p.conn, f.typ, f.sealed); err != nil {
+			return err
+		}
+		p.replayed.Add(1)
+		p.bytes.Add(uint64(len(f.sealed)))
+		return nil
+	}
+	if p.window.covers(haveSeq) {
+		for _, f := range p.window.from(haveSeq) {
+			if err := emit(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if p.journal == nil || p.jbroken {
+		return fmt.Errorf("observatory: replay window evicted seq %d and spill journal is unavailable", haveSeq+1)
+	}
+	return p.journal.replay(haveSeq, emit)
+}
+
+// awaitFinalAck reads the daemon's final ack after the final frame went
+// out. A connection loss here reconnects like any other: either the
+// resume handshake reports Finalized (the daemon got our final before
+// dying or the ack was merely lost), or the replay re-delivers the final
+// frame and a fresh ack follows.
+func (p *Pusher) awaitFinalAck() {
+	for {
+		if p.finalAcked.Load() {
+			return
+		}
+		p.conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+		typ, _, err := readFrame(p.conn)
+		if err == nil && typ == frameFinalAck {
+			p.conn.SetReadDeadline(time.Time{})
+			p.finalAcked.Store(true)
+			return
+		}
+		if err == nil {
+			err = fmt.Errorf("%w: want final ack, got frame %q", ErrBadFrame, typ)
+		}
+		if !p.reconnect() {
+			p.fail(fmt.Errorf("observatory: final ack: %w", err))
+			return
+		}
 	}
 }
 
@@ -195,7 +488,7 @@ func (p *Pusher) Observer(reg *telemetry.Registry) scenario.Observer {
 		a.Packets = append(a.Packets, func(at des.Time, pkt *accounting.Packet) {
 			payload, err := encodePacketFrame(float64(at), pkt)
 			if err != nil {
-				p.errVal.CompareAndSwap(nil, &pushErr{err: err})
+				p.fail(err)
 				p.packetsLost.Add(1)
 				return
 			}
@@ -248,10 +541,12 @@ func (p *Pusher) sendDroppable(typ byte, payload []byte) {
 
 // Finish ends the push: it ships the final frame (end is the virtual time
 // the daemon advances the stream clock to — pass horizon + drain), waits
-// for the writer to drain, waits for the daemon's final ack (the signal
-// that the daemon-side report is built and published), and closes the
-// connection. Call after scenario.Run returns, from the same goroutine
-// that drove the run. Safe to call once.
+// for the writer to drain the outbox and collect the daemon's final ack
+// (the signal that the daemon-side report is built and published —
+// surviving reconnects along the way), closes the connection, and removes
+// the spill journal. Call after scenario.Run returns, from the same
+// goroutine that drove the run. Safe to call once; after Abort it only
+// reports the session error.
 func (p *Pusher) Finish(end float64) error {
 	if p.finished {
 		return p.Err()
@@ -260,23 +555,22 @@ func (p *Pusher) Finish(end float64) error {
 	p.sendBlocking(frameFinal, encodeFinalFrame(end))
 	close(p.out)
 	p.wg.Wait()
-	defer p.conn.Close()
+	defer func() {
+		p.conn.Close()
+		p.journal.close()
+	}()
 	if err := p.Err(); err != nil {
 		return fmt.Errorf("observatory: push: %w", err)
 	}
-	p.conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
-	typ, _, err := readFrame(p.conn)
-	if err != nil {
-		return fmt.Errorf("observatory: final ack: %w", err)
-	}
-	if typ != frameFinalAck {
-		return fmt.Errorf("%w: want final ack, got frame %q", ErrBadFrame, typ)
+	if !p.finalAcked.Load() {
+		return fmt.Errorf("observatory: final ack never arrived")
 	}
 	return nil
 }
 
 // Abort closes the connection without the final handshake (for error
-// paths where the run never completed).
+// paths where the run never completed) and removes the spill journal.
+// Idempotent, in either order with Finish.
 func (p *Pusher) Abort() {
 	if !p.finished {
 		p.finished = true
@@ -284,4 +578,5 @@ func (p *Pusher) Abort() {
 		p.wg.Wait()
 	}
 	p.conn.Close()
+	p.journal.close()
 }

@@ -1,0 +1,172 @@
+package observatory
+
+import (
+	"errors"
+	"net"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFinishAbortIdempotence: Finish and Abort are safe in either order
+// and on repeat — the error paths that call them cannot know what already
+// ran.
+func TestFinishAbortIdempotence(t *testing.T) {
+	_, addr := startDaemon(t)
+
+	// Finish, then Abort twice: the pusher is already torn down.
+	p, err := Dial(addr, Hello{Run: "idem-a", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Finish(100); err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	p.Abort()
+	p.Abort()
+
+	// Abort, then Finish: Finish must not re-drive the session, only
+	// report its (absent) error.
+	q, err := Dial(addr, Hello{Run: "idem-b", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Abort()
+	if err := q.Finish(100); err != nil {
+		t.Fatalf("finish after abort: %v", err)
+	}
+	q.Abort()
+}
+
+// TestHelloRejectsBadRunID: a malformed run identity is refused with the
+// typed hello error (no retries, no uniquified garbage).
+func TestHelloRejectsBadRunID(t *testing.T) {
+	d, addr := startDaemon(t)
+	start := time.Now()
+	_, err := Dial(addr, Hello{Run: "../etc/evil", Seed: 1})
+	if !errors.Is(err, ErrBadHello) {
+		t.Fatalf("bad run ID: want ErrBadHello, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("rejection reason missing from %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("rejection was retried (%v elapsed); hello errors must be permanent", elapsed)
+	}
+	if ids := d.RunIDs(); len(ids) != 0 {
+		t.Fatalf("rejected hello registered a run: %v", ids)
+	}
+}
+
+// TestHelloRejectsOversize: a hello frame above the dedicated cap is
+// answered with an error frame before the daemon allocates for it.
+func TestHelloRejectsOversize(t *testing.T) {
+	d, addr := startDaemon(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte(wireMagicStr)); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(conn, frameHello, make([]byte, maxHelloPayload+1)); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	typ, payload, err := readFrame(conn)
+	if err != nil {
+		t.Fatalf("want error frame, got read failure: %v", err)
+	}
+	if typ != frameError {
+		t.Fatalf("want frame %q, got %q (%q)", frameError, typ, payload)
+	}
+	if ids := d.RunIDs(); len(ids) != 0 {
+		t.Fatalf("oversized hello registered a run: %v", ids)
+	}
+}
+
+// TestResumeSeedMismatchRejected: resuming an existing run with the wrong
+// seed is refused — replaying one run's frames into another would corrupt
+// both.
+func TestResumeSeedMismatchRejected(t *testing.T) {
+	_, addr := startDaemon(t)
+	p, err := Dial(addr, Hello{Run: "owner", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Abort()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte(wireMagicStr)); err != nil {
+		t.Fatal(err)
+	}
+	h := Hello{Schema: helloSchema, Run: "owner", Seed: 8, Resume: true}
+	if err := writeFrame(conn, frameHello, marshalJSON(&h)); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	typ, payload, err := readFrame(conn)
+	if err != nil {
+		t.Fatalf("want error frame, got read failure: %v", err)
+	}
+	if typ != frameError || !strings.Contains(string(payload), "seed mismatch") {
+		t.Fatalf("want seed-mismatch error frame, got %q (%q)", typ, payload)
+	}
+}
+
+// TestReplayWindow: eviction keeps the newest frames and coverage
+// reports exactly when replay can stay in memory.
+func TestReplayWindow(t *testing.T) {
+	w := newReplayWindow(3)
+	if !w.covers(0) {
+		t.Fatal("empty window must cover everything")
+	}
+	for seq := uint64(1); seq <= 5; seq++ {
+		w.add(journalFrame{typ: framePacket, seq: seq, sealed: sealSeq(seq, nil)})
+	}
+	if w.covers(1) {
+		t.Fatal("window holding 3..5 claims to cover a resume at 1")
+	}
+	if !w.covers(2) {
+		t.Fatal("window holding 3..5 must cover a resume at 2")
+	}
+	got := w.from(3)
+	if len(got) != 2 || got[0].seq != 4 || got[1].seq != 5 {
+		t.Fatalf("from(3) = %v, want seqs [4 5]", got)
+	}
+}
+
+// TestSpillJournalReplay: the journal replays exactly the frames above
+// the resume offset, in order, and removes its file on close.
+func TestSpillJournalReplay(t *testing.T) {
+	j, err := newSpillJournal("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 6; seq++ {
+		if err := j.append(journalFrame{typ: framePacket, seq: seq, sealed: sealSeq(seq, []byte{byte(seq)})}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []uint64
+	if err := j.replay(4, func(f journalFrame) error {
+		got = append(got, f.seq)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 5 || got[1] != 6 {
+		t.Fatalf("replay(4) visited %v, want [5 6]", got)
+	}
+	path := j.path
+	j.close()
+	if _, err := os.Stat(path); err == nil {
+		t.Fatalf("spill journal %s still exists after close", path)
+	}
+}

@@ -38,13 +38,20 @@ import (
 // Match with errors.Is(err, ErrBadFrame).
 var ErrBadFrame = errors.New("observatory: bad frame")
 
+// ErrBadHello is the typed error for handshake rejections: oversized
+// hello frames and malformed run IDs. The daemon answers such hellos
+// with an error frame instead of uniquifying garbage into a run ID, and
+// Dial surfaces the rejection wrapping this error.
+var ErrBadHello = errors.New("observatory: bad hello")
+
 // wireMagicStr brands a push connection; the four bytes arrive before the
 // first frame. The trailing digit is the protocol revision.
 const wireMagicStr = "TGO1"
 
 // Frame types. Producer → daemon: hello, packet, snapshot, metrics,
-// final. Daemon → producer: helloAck (assigned run ID), finalAck (final
-// report built).
+// final. Daemon → producer: helloAck (assigned run ID plus resume
+// offset), finalAck (final report built), error (handshake rejected;
+// payload is a human-readable reason).
 const (
 	frameHello    = byte('H')
 	framePacket   = byte('P')
@@ -53,14 +60,27 @@ const (
 	frameFinal    = byte('F')
 	frameHelloAck = byte('A')
 	frameFinalAck = byte('D')
+	frameError    = byte('E')
 )
 
 // maxFramePayload bounds a single frame so a corrupt length prefix cannot
 // drive an unbounded allocation on either side of the wire.
 const maxFramePayload = 64 << 20
 
-// helloSchema is the handshake schema revision.
-const helloSchema = 1
+// maxHelloPayload bounds the hello frame far below the general wire cap:
+// a handshake is a small JSON document, and an attacker-sized hello must
+// not buy a 64 MiB allocation before the daemon has even admitted the
+// connection.
+const maxHelloPayload = 64 << 10
+
+// maxRunIDLen bounds a requested run identity. Run IDs become file names
+// (-final-out artifacts, WAL segments) and metric label values.
+const maxRunIDLen = 120
+
+// helloSchema is the handshake schema revision. Revision 2 added frame
+// sequencing and the reconnect/resume negotiation (Resume, HaveSeq,
+// Finalized).
+const helloSchema = 2
 
 // Hello is the handshake a producer sends as its first frame: who the run
 // is, its seed, the classifier threshold, and where virtual time will end
@@ -78,11 +98,47 @@ type Hello struct {
 	EndTimeS float64 `json:"end_time_s"`
 	// Source labels the producer kind: "tgsim", "fleet", "replay", ...
 	Source string `json:"source,omitempty"`
+	// Resume marks a reconnect: the producer already holds a
+	// daemon-assigned identity in Run and wants its run back, taking over
+	// from a half-open previous connection if one lingers. The daemon
+	// answers with the resume offset (HaveSeq) so the producer replays
+	// exactly the frames the daemon never applied.
+	Resume bool `json:"resume,omitempty"`
 }
 
 // helloAck is the daemon's answer to a hello.
 type helloAck struct {
 	Run string `json:"run"` // the assigned (possibly uniquified) run ID
+	// HaveSeq is the highest record-frame sequence number the daemon has
+	// applied for this run (0 for a fresh run). The producer must resume
+	// sending at HaveSeq+1; the daemon drops anything at or below it.
+	HaveSeq uint64 `json:"have_seq"`
+	// Finalized reports that the run's final frame was already applied —
+	// a producer reconnecting mid-Finish learns its final ack outcome
+	// here instead of re-driving the run.
+	Finalized bool `json:"finalized,omitempty"`
+}
+
+// validateRunID vets a producer-requested run identity. Run IDs become
+// artifact file names and metric labels, so only a conservative charset
+// is admitted; empty is fine (the daemon assigns one).
+func validateRunID(id string) error {
+	if id == "" {
+		return nil
+	}
+	if len(id) > maxRunIDLen {
+		return fmt.Errorf("%w: run ID length %d exceeds %d", ErrBadHello, len(id), maxRunIDLen)
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return fmt.Errorf("%w: run ID %q contains %q (want [A-Za-z0-9._-])", ErrBadHello, id, c)
+		}
+	}
+	return nil
 }
 
 // writeFrame writes one framed message: type byte, 4-byte big-endian
@@ -107,6 +163,13 @@ func writeFrame(w io.Writer, typ byte, payload []byte) error {
 // readFrame reads one framed message. io.EOF is returned clean (not
 // wrapped) when the connection closes between frames.
 func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	return readFrameLimited(r, maxFramePayload)
+}
+
+// readFrameLimited is readFrame with a tighter payload cap, enforced
+// before any allocation — used for the hello, where even the general
+// wire limit is too generous for a peer that has not identified itself.
+func readFrameLimited(r io.Reader, limit uint32) (typ byte, payload []byte, err error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.EOF {
@@ -115,7 +178,7 @@ func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
 		return 0, nil, fmt.Errorf("%w: truncated header: %v", ErrBadFrame, err)
 	}
 	n := binary.BigEndian.Uint32(hdr[1:])
-	if n > maxFramePayload {
+	if n > limit {
 		return 0, nil, fmt.Errorf("%w: %d-byte payload exceeds limit", ErrBadFrame, n)
 	}
 	if n > 0 {
@@ -139,9 +202,32 @@ func readMagic(r io.Reader) error {
 	return nil
 }
 
-// encodePacketFrame builds a packet-frame payload: the flush virtual time
-// (8 bytes, little-endian float64 bits) followed by the accounting wire
-// encoding — the same bytes the simulated AMIE wire carries.
+// Record frames (packet and final) are *sequenced*: their payloads open
+// with an 8-byte little-endian sequence number assigned contiguously
+// from 1 by the producer's writer. The sequence is the delivery
+// guarantee — the daemon applies seq n+1 only after n, dedups replays at
+// or below its high-water mark, and reports that mark as the resume
+// offset in the hello ack.
+
+// sealSeq prepends the sequence number to a record-frame payload.
+func sealSeq(seq uint64, inner []byte) []byte {
+	out := make([]byte, 8, 8+len(inner))
+	binary.LittleEndian.PutUint64(out, seq)
+	return append(out, inner...)
+}
+
+// splitSeq peels the sequence number off a record-frame payload.
+func splitSeq(payload []byte) (seq uint64, inner []byte, err error) {
+	if len(payload) < 8 {
+		return 0, nil, fmt.Errorf("%w: short sequenced frame", ErrBadFrame)
+	}
+	return binary.LittleEndian.Uint64(payload), payload[8:], nil
+}
+
+// encodePacketFrame builds a packet-frame payload body: the flush virtual
+// time (8 bytes, little-endian float64 bits) followed by the accounting
+// wire encoding — the same bytes the simulated AMIE wire carries. The
+// writer seals the sequence number on when the frame is dequeued.
 func encodePacketFrame(at float64, pkt *accounting.Packet) ([]byte, error) {
 	wire, err := pkt.Encode()
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"io"
+	"strings"
 	"testing"
 
 	"github.com/tgsim/tgmod/internal/accounting"
@@ -118,4 +119,76 @@ func TestFinalFrameRoundTrip(t *testing.T) {
 	if _, err := decodeFinalFrame([]byte{1}); !errors.Is(err, ErrBadFrame) {
 		t.Fatalf("short final frame: want ErrBadFrame, got %v", err)
 	}
+}
+
+// TestSeqSeal: record-frame sequencing round-trips, and short sequenced
+// payloads are typed bad frames.
+func TestSeqSeal(t *testing.T) {
+	inner := []byte("record-body")
+	sealed := sealSeq(987654321, inner)
+	seq, body, err := splitSeq(sealed)
+	if err != nil || seq != 987654321 || !bytes.Equal(body, inner) {
+		t.Fatalf("splitSeq = (%d, %q, %v), want (987654321, %q, nil)", seq, body, err, inner)
+	}
+	if _, _, err := splitSeq([]byte{1, 2, 3}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("short sequenced frame: want ErrBadFrame, got %v", err)
+	}
+}
+
+// TestValidateRunID: the daemon admits only file- and label-safe run
+// identities, rejecting the rest with the typed hello error.
+func TestValidateRunID(t *testing.T) {
+	for _, ok := range []string{"", "a", "fleet-r02", "A.b_c-9"} {
+		if err := validateRunID(ok); err != nil {
+			t.Errorf("validateRunID(%q) = %v, want nil", ok, err)
+		}
+	}
+	long := strings.Repeat("x", maxRunIDLen+1)
+	for _, bad := range []string{"a b", "../etc/passwd", "run#2", "naïve", long} {
+		if err := validateRunID(bad); !errors.Is(err, ErrBadHello) {
+			t.Errorf("validateRunID(%q) = %v, want ErrBadHello", bad, err)
+		}
+	}
+}
+
+// TestReadFrameLimited: the hello cap rejects before allocating.
+func TestReadFrameLimited(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, frameHello, make([]byte, maxHelloPayload+1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := readFrameLimited(&buf, maxHelloPayload); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized hello: want ErrBadFrame, got %v", err)
+	}
+}
+
+// FuzzReadFrame: torn, short-read, and corrupt-length inputs must never
+// panic and must always yield a clean EOF or a typed ErrBadFrame; frames
+// that do parse must re-encode to a prefix of the input.
+func FuzzReadFrame(f *testing.F) {
+	var seed bytes.Buffer
+	writeFrame(&seed, framePacket, sealSeq(1, []byte{1, 2, 3, 4, 5, 6, 7, 8, 9}))
+	f.Add(seed.Bytes())
+	writeFrame(&seed, frameFinal, sealSeq(2, encodeFinalFrame(432000)))
+	f.Add(seed.Bytes())
+	f.Add(seed.Bytes()[:seed.Len()-3]) // torn mid-payload
+	f.Add([]byte{})
+	f.Add([]byte{framePacket})                         // torn mid-header
+	f.Add([]byte{framePacket, 0xff, 0xff, 0xff, 0xff}) // oversize length
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			typ, payload, err := readFrame(r)
+			if err != nil {
+				if err != io.EOF && !errors.Is(err, ErrBadFrame) {
+					t.Fatalf("readFrame error is neither io.EOF nor ErrBadFrame: %v", err)
+				}
+				return
+			}
+			var re bytes.Buffer
+			if werr := writeFrame(&re, typ, payload); werr != nil {
+				t.Fatalf("parsed frame does not re-encode: %v", werr)
+			}
+		}
+	})
 }

@@ -141,10 +141,11 @@ func goldenTrace(t *testing.T, engineName string, faults bool) string {
 }
 
 // TestGoldenTraces locks the four legacy policies to their pre-refactor
-// behavior, byte for byte, with and without fault injection. Regenerate
+// behavior — and the gang and priority engines to their introduced
+// behavior — byte for byte, with and without fault injection. Regenerate
 // with -update-golden ONLY for an intentional behavior change.
 func TestGoldenTraces(t *testing.T) {
-	for _, name := range []string{"fcfs", "easy", "conservative", "fairshare"} {
+	for _, name := range []string{"fcfs", "easy", "conservative", "fairshare", "gang", "priority"} {
 		for _, faults := range []bool{false, true} {
 			label := name
 			if faults {
